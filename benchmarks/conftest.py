@@ -1,0 +1,42 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark prints the rows / series the paper reports and asserts the
+qualitative shape (who wins, by roughly what factor) rather than absolute
+numbers: the substrate here is a vectorised NumPy simulation of the paper's
+GPU kernels, so wall-clock values differ but the comparisons should not.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_CASES``
+    Comma-separated case list for the cold-start table
+    (default ``case9,pegase118_like``).
+``REPRO_BENCH_TRACKING_CASE``
+    Case used for the warm-start tracking figures (default ``case9``).
+``REPRO_BENCH_PERIODS``
+    Number of tracking periods (default 12; the paper uses 30).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    bench_cases,
+    bench_tracking_case,
+    bench_tracking_periods,
+    table2,
+    tracking_experiment,
+)
+
+
+@pytest.fixture(scope="session")
+def coldstart_rows():
+    """Run the cold-start comparison once and share it across benchmarks."""
+    return table2(bench_cases())
+
+
+@pytest.fixture(scope="session")
+def tracking_results():
+    """Run the warm-start tracking experiment once (shared by Figures 1-3)."""
+    return tracking_experiment(bench_tracking_case(),
+                               n_periods=bench_tracking_periods())

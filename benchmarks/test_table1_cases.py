@@ -1,0 +1,39 @@
+"""Benchmark: Table I — data and parameters for the experiments.
+
+Regenerates the paper's case-inventory table (generator / branch / bus counts
+and the consensus penalty parameters) for the benchmark case suite, and
+checks that the full-size synthetic analogues reproduce the paper's exact
+component counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bench_cases, render_table1, table1
+from repro.grid.cases import PAPER_SYSTEM_SIZES, load_case
+
+
+def test_table1_case_inventory(benchmark):
+    rows = benchmark.pedantic(table1, args=(bench_cases(),), rounds=1, iterations=1)
+    print()
+    print(render_table1(bench_cases()))
+
+    assert len(rows) == len(bench_cases())
+    for row in rows:
+        assert row["buses"] > 0
+        assert row["branches"] >= row["buses"] - 1
+        assert row["rho_va"] > row["rho_pq"] > 0
+
+
+def test_table1_full_size_analogues(benchmark):
+    """The pegase-scale synthetic analogues reproduce the paper's exact counts."""
+
+    def build():
+        return {name: load_case(f"{name}_like")
+                for name, (buses, _, _) in PAPER_SYSTEM_SIZES.items() if buses <= 3000}
+
+    networks = benchmark.pedantic(build, rounds=1, iterations=1)
+    for name, network in networks.items():
+        buses, gens, branches = PAPER_SYSTEM_SIZES[name]
+        assert network.n_bus == buses
+        assert network.n_gen == gens
+        assert network.n_branch == branches

@@ -1,0 +1,34 @@
+"""Benchmark: Table II — solving ACOPF from cold start.
+
+Reproduces the paper's cold-start comparison between the component-based
+two-level ADMM and the centralized interior-point baseline: ADMM iteration
+counts, wall-clock time of both solvers, the maximum constraint violation of
+the ADMM solution, and its relative objective gap.
+
+Shape asserted (paper Table II): violations in the 1e-4 … ~1.5e-2 band,
+objective gaps below ~2.5 %, and iteration counts in the hundreds to
+thousands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import render_table2
+
+
+def test_table2_coldstart(benchmark, coldstart_rows):
+    rows = coldstart_rows
+    # The heavy solves happen once in the session fixture; the benchmark
+    # records the (cheap) table assembly so pytest-benchmark has a record,
+    # while the printed table carries the per-case solve times.
+    benchmark.pedantic(render_table2, args=(rows,), rounds=1, iterations=1)
+    print()
+    print(render_table2(rows))
+
+    for row in rows:
+        assert 100 <= row.admm_iterations <= 20000
+        assert row.max_violation < 2.5e-2, f"{row.case}: violation {row.max_violation}"
+        assert row.relative_gap < 0.025, f"{row.case}: gap {row.relative_gap:.3%}"
+        assert row.admm_seconds > 0 and row.ipm_seconds > 0
+        assert np.isfinite(row.admm_objective) and np.isfinite(row.ipm_objective)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Ablation: how the consensus penalties affect ADMM convergence.
+
+The paper fixes the penalty parameters per case (Table I) and notes in its
+conclusion that automatic penalty selection is the main avenue for
+improvement.  This example sweeps ``(rho_pq, rho_va)`` over a small grid on
+one case and reports iterations, time, final violation, and objective gap —
+the trade-off the paper describes (large penalties converge faster but put
+less weight on the objective).
+
+Run with::
+
+    python examples/penalty_sweep.py [case-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.analysis.reporting import render_table
+
+
+def main() -> int:
+    case = sys.argv[1] if len(sys.argv) > 1 else "case9"
+    network = repro.load_case(case)
+    baseline = repro.solve_acopf_ipm(network)
+    print(f"{network.summary()}; baseline objective {baseline.objective:.2f} $/h\n")
+
+    sweep = [(1e2, 1e4), (4e2, 4e4), (1e3, 1e5), (4e3, 4e5)]
+    rows = []
+    for rho_pq, rho_va in sweep:
+        params = repro.AdmmParameters(rho_pq=rho_pq, rho_va=rho_va)
+        solution = repro.solve_acopf_admm(network, params=params)
+        gap = repro.relative_objective_gap(solution.objective, baseline.objective)
+        rows.append([rho_pq, rho_va, solution.inner_iterations,
+                     solution.solve_seconds, solution.max_constraint_violation,
+                     100.0 * gap])
+
+    print(render_table(
+        ["rho_pq", "rho_va", "iterations", "time (s)", "||c(x)||inf", "gap (%)"],
+        rows, title=f"Penalty sweep on {case}"))
+    print("\nLarger penalties enforce consensus more aggressively (fewer iterations,"
+          "\nsmaller violation) at the cost of a larger objective gap — the trade-off"
+          "\nthe paper manages with its per-case Table I values.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools lacks PEP
+660 editable-wheel support (no ``wheel`` package available), via the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — GPU-style component-based two-level ADMM for AC optimal power flow.
+
+A pure-Python reproduction of "Accelerated Computation and Tracking of AC
+Optimal Power Flow Solutions Using GPUs" (Kim & Kim, ICPP 2022): the
+component-based two-level ADMM solver (ExaAdmm), the batched trust-region
+Newton solver for its branch subproblems (ExaTron), a centralized
+interior-point baseline (the paper's Ipopt reference), and the multi-period
+warm-start tracking experiment, together with the grid/power-flow substrate
+they need.
+
+Quick start::
+
+    import repro
+
+    network = repro.load_case("case9")
+    solution = repro.solve_acopf_admm(network)
+    print(solution.objective, solution.max_constraint_violation)
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the reproduction of every table and
+figure of the paper.
+"""
+
+from repro.admm import AdmmParameters, AdmmSolution, AdmmSolver, solve_acopf_admm
+from repro.admm.parameters import parameters_for_case, suggest_penalties
+from repro.analysis import constraint_violation, evaluate_solution, relative_objective_gap
+from repro.baseline import BaselineSolution, InteriorPointOptions, solve_acopf_ipm
+from repro.grid import Network, available_cases, load_case, make_synthetic_grid
+from repro.powerflow import branch_flows, dc_power_flow, solve_power_flow
+from repro.tracking import make_load_profile, track_horizon
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmmParameters",
+    "AdmmSolution",
+    "AdmmSolver",
+    "solve_acopf_admm",
+    "parameters_for_case",
+    "suggest_penalties",
+    "constraint_violation",
+    "evaluate_solution",
+    "relative_objective_gap",
+    "BaselineSolution",
+    "InteriorPointOptions",
+    "solve_acopf_ipm",
+    "Network",
+    "available_cases",
+    "load_case",
+    "make_synthetic_grid",
+    "branch_flows",
+    "dc_power_flow",
+    "solve_power_flow",
+    "make_load_profile",
+    "track_horizon",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Component-based two-level ADMM for ACOPF (the paper's core contribution).
+
+The solver decomposes an ACOPF into generator, branch, and bus components
+coupled only by consensus constraints (Section II of the paper), adds an
+artificial variable ``z`` per coupling constraint to obtain the two-level
+structure with convergence guarantees (Sun & Sun), and iterates
+
+1. generator updates (closed form) and branch updates (batched TRON) —
+   embarrassingly parallel across components;
+2. bus updates (closed form equality-constrained QPs);
+3. the artificial-variable update and the ADMM multiplier update;
+4. outer-level multiplier / penalty updates driving ``‖z‖ → 0``.
+
+Public entry points:
+
+* :func:`~repro.admm.solver.solve_acopf_admm` — one-shot solve;
+* :class:`~repro.admm.solver.AdmmSolver` — reusable solver object with warm
+  start (used by the tracking driver);
+* :class:`~repro.admm.parameters.AdmmParameters` — all tuning knobs.
+"""
+
+from repro.admm.parameters import AdmmParameters, suggest_penalties
+from repro.admm.solver import AdmmSolution, AdmmSolver, solve_acopf_admm
+
+__all__ = [
+    "AdmmParameters",
+    "suggest_penalties",
+    "AdmmSolution",
+    "AdmmSolver",
+    "solve_acopf_admm",
+]

@@ -1,0 +1,69 @@
+"""Artificial-variable (z) and multiplier updates.
+
+The artificial variable ``z`` (one entry per coupling constraint) is what
+turns the plain component ADMM of Mhanna et al. into the two-level scheme of
+Sun & Sun with convergence guarantees: the inner ADMM drives the coupling
+residual ``r + z`` to zero while the outer augmented-Lagrangian level drives
+``z`` itself to zero by updating its multiplier ``λ`` (here ``lz``) and
+penalty ``β``.
+
+All updates are element-wise closed forms (eq. (6) and (8) of the paper) —
+one GPU thread per constraint in the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.admm.data import COUPLING_GROUPS, ComponentData
+from repro.admm.state import AdmmState
+
+
+def update_artificial_variables(data: ComponentData, state: AdmmState) -> None:
+    """Closed-form z-update.
+
+    For each constraint, ``z`` minimises
+    ``lz·z + (β/2)z² + y·(r + z) + (ρ/2)(r + z)²`` with ``r`` the coupling
+    residual evaluated at the freshly updated components and buses:
+
+    ``z* = −(lz + y + ρ r) / (β + ρ)``.
+    """
+    residuals = state.coupling_residuals(data)
+    beta = state.beta
+    for group in COUPLING_GROUPS:
+        rho = data.rho[group]
+        state.z[group] = -(state.lz[group] + state.y[group] + rho * residuals[group]) / (beta + rho)
+
+
+def update_multipliers(data: ComponentData, state: AdmmState) -> dict[str, np.ndarray]:
+    """ADMM multiplier update ``y ← y + ρ (r + z)``.
+
+    Returns the post-update constraint residuals ``r + z`` per group (they
+    are also the primal residuals used by the inner termination test).
+    """
+    residuals = state.coupling_residuals(data)
+    primal = {}
+    for group in COUPLING_GROUPS:
+        rho = data.rho[group]
+        primal[group] = residuals[group] + state.z[group]
+        state.y[group] = state.y[group] + rho * primal[group]
+    return primal
+
+
+def update_outer_level(data: ComponentData, state: AdmmState,
+                       previous_z_norm: float) -> float:
+    """Outer-level update of ``λ`` (projected) and ``β`` (geometric growth).
+
+    ``λ ← Π[−bound, bound](λ + β z)``; ``β`` grows by ``beta_factor`` whenever
+    ``‖z‖_∞`` failed to contract by ``beta_contraction``.  Returns the new
+    ``‖z‖_∞``.
+    """
+    params = data.params
+    bound = params.outer_multiplier_bound
+    for group in COUPLING_GROUPS:
+        state.lz[group] = np.clip(state.lz[group] + state.beta * state.z[group],
+                                  -bound, bound)
+    z_norm = state.z_norm()
+    if z_norm > params.beta_contraction * previous_z_norm:
+        state.beta = min(state.beta * params.beta_factor, params.beta_max)
+    return z_norm

@@ -1,0 +1,102 @@
+"""Closed-form bus update (eq. (7) of the paper).
+
+Each bus owns its squared voltage magnitude ``w``, its angle ``θ``, and the
+bus-side copies of every coupled quantity (generator injections and incident
+branch flows).  Its subproblem is an equality-constrained QP with a diagonal
+Hessian (built from the consensus penalty terms) and two equality constraints
+(the real and reactive power balances (1b)–(1c)), so the KKT system reduces
+to a 2×2 solve per bus:
+
+``μ* = (A Q⁻¹ Aᵀ)⁻¹ (A Q⁻¹ c − b)``,   ``x* = Q⁻¹ (c − Aᵀ μ*)``.
+
+Every accumulation below is a segment sum over generators or incident branch
+ends, and every per-bus operation is element-wise — the paper launches one
+GPU thread per bus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.admm.data import ComponentData
+from repro.admm.state import AdmmState
+from repro.parallel.kernels import segment_sum
+
+
+def update_buses(data: ComponentData, state: AdmmState) -> None:
+    """Solve every bus subproblem in closed form and update the state."""
+    n_bus = data.n_bus
+    f = data.branch_from
+    t = data.branch_to
+    gen_bus = data.gen_bus
+
+    rho_gp, rho_gq = data.rho["gp"], data.rho["gq"]
+    rho_pij, rho_qij = data.rho["pij"], data.rho["qij"]
+    rho_pji, rho_qji = data.rho["pji"], data.rho["qji"]
+    rho_wi, rho_ti = data.rho["wi"], data.rho["ti"]
+    rho_wj, rho_tj = data.rho["wj"], data.rho["tj"]
+
+    # Linear coefficients c_v = rho * (component value + z) + y for every
+    # bus-owned variable v (see module docstring).
+    c_gp = rho_gp * (state.pg + state.z["gp"]) + state.y["gp"]
+    c_gq = rho_gq * (state.qg + state.z["gq"]) + state.y["gq"]
+    c_pij = rho_pij * (state.pij + state.z["pij"]) + state.y["pij"]
+    c_qij = rho_qij * (state.qij + state.z["qij"]) + state.y["qij"]
+    c_pji = rho_pji * (state.pji + state.z["pji"]) + state.y["pji"]
+    c_qji = rho_qji * (state.qji + state.z["qji"]) + state.y["qji"]
+
+    # w and θ gather one contribution per incident branch end.
+    c_w = segment_sum(rho_wi * (state.vi ** 2 + state.z["wi"]) + state.y["wi"], f, n_bus)
+    c_w += segment_sum(rho_wj * (state.vj ** 2 + state.z["wj"]) + state.y["wj"], t, n_bus)
+    q_w = segment_sum(np.full(f.shape, rho_wi), f, n_bus) \
+        + segment_sum(np.full(t.shape, rho_wj), t, n_bus)
+
+    c_theta = segment_sum(rho_ti * (state.ti + state.z["ti"]) + state.y["ti"], f, n_bus)
+    c_theta += segment_sum(rho_tj * (state.tj + state.z["tj"]) + state.y["tj"], t, n_bus)
+    q_theta = segment_sum(np.full(f.shape, rho_ti), f, n_bus) \
+        + segment_sum(np.full(t.shape, rho_tj), t, n_bus)
+
+    # Guard isolated buses (cannot occur in validated networks, but keep the
+    # kernel total): give them a unit diagonal so the division is defined.
+    q_w_safe = np.where(q_w > 0, q_w, 1.0)
+    q_theta_safe = np.where(q_theta > 0, q_theta, 1.0)
+
+    gs, bs = data.bus_gs, data.bus_bs
+
+    # --- Schur complement S = A Q^{-1} A^T (2x2 per bus) ------------------
+    s_pp = segment_sum(np.full(gen_bus.shape, 1.0 / rho_gp), gen_bus, n_bus) \
+        + segment_sum(np.full(f.shape, 1.0 / rho_pij), f, n_bus) \
+        + segment_sum(np.full(t.shape, 1.0 / rho_pji), t, n_bus) \
+        + gs * gs / q_w_safe
+    s_qq = segment_sum(np.full(gen_bus.shape, 1.0 / rho_gq), gen_bus, n_bus) \
+        + segment_sum(np.full(f.shape, 1.0 / rho_qij), f, n_bus) \
+        + segment_sum(np.full(t.shape, 1.0 / rho_qji), t, n_bus) \
+        + bs * bs / q_w_safe
+    s_pq = -gs * bs / q_w_safe
+
+    # --- right-hand side A Q^{-1} c - b ------------------------------------
+    rhs_p = segment_sum(c_gp / rho_gp, gen_bus, n_bus) \
+        - segment_sum(c_pij / rho_pij, f, n_bus) \
+        - segment_sum(c_pji / rho_pji, t, n_bus) \
+        - gs * c_w / q_w_safe \
+        - data.bus_pd
+    rhs_q = segment_sum(c_gq / rho_gq, gen_bus, n_bus) \
+        - segment_sum(c_qij / rho_qij, f, n_bus) \
+        - segment_sum(c_qji / rho_qji, t, n_bus) \
+        + bs * c_w / q_w_safe \
+        - data.bus_qd
+
+    det = s_pp * s_qq - s_pq * s_pq
+    det_safe = np.where(np.abs(det) > 1e-300, det, 1.0)
+    mu_p = (s_qq * rhs_p - s_pq * rhs_q) / det_safe
+    mu_q = (s_pp * rhs_q - s_pq * rhs_p) / det_safe
+
+    # --- recover the bus-owned variables -----------------------------------
+    state.pg_copy = (c_gp - mu_p[gen_bus]) / rho_gp
+    state.qg_copy = (c_gq - mu_q[gen_bus]) / rho_gq
+    state.pij_copy = (c_pij + mu_p[f]) / rho_pij
+    state.qij_copy = (c_qij + mu_q[f]) / rho_qij
+    state.pji_copy = (c_pji + mu_p[t]) / rho_pji
+    state.qji_copy = (c_qji + mu_q[t]) / rho_qji
+    state.w = (c_w + gs * mu_p - bs * mu_q) / q_w_safe
+    state.theta = c_theta / q_theta_safe

@@ -1,0 +1,153 @@
+"""Structure-of-arrays component layout for the ADMM solver.
+
+``ComponentData`` freezes everything about a case that does not change
+between ADMM iterations: component index maps, bounds, cost coefficients,
+branch admittance quantities, and the per-coupling-group penalty values.  The
+iteration state (variables and multipliers) lives in
+:class:`repro.admm.state.AdmmState`.
+
+Coupling constraints are organised in ten groups, each a flat array over the
+owning component axis:
+
+========  ====================================  ==============  ==========
+group     constraint (component − bus copy)      length          penalty
+========  ====================================  ==============  ==========
+``gp``    ``pg − pg_copy + z``                  active gens      rho_pq
+``gq``    ``qg − qg_copy + z``                  active gens      rho_pq
+``pij``   ``p_ij(branch) − p_ij_copy + z``      branches         rho_pq
+``qij``   ``q_ij(branch) − q_ij_copy + z``      branches         rho_pq
+``pji``   ``p_ji(branch) − p_ji_copy + z``      branches         rho_pq
+``qji``   ``q_ji(branch) − q_ji_copy + z``      branches         rho_pq
+``wi``    ``v_i² − w_i + z``                    branches         rho_va
+``ti``    ``θ_i(branch) − θ_i + z``             branches         rho_va
+``wj``    ``v_j² − w_j + z``                    branches         rho_va
+``tj``    ``θ_j(branch) − θ_j + z``             branches         rho_va
+========  ====================================  ==============  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.admm.parameters import AdmmParameters
+from repro.grid.network import Network
+from repro.powerflow.branch_derivatives import BranchQuantities, branch_quantities
+
+#: Names of the coupling-constraint groups, in canonical order.
+COUPLING_GROUPS = ("gp", "gq", "pij", "qij", "pji", "qji", "wi", "ti", "wj", "tj")
+
+#: Groups penalised with ``rho_pq`` (the rest use ``rho_va``).
+POWER_GROUPS = ("gp", "gq", "pij", "qij", "pji", "qji")
+
+
+@dataclass
+class ComponentData:
+    """Immutable per-case data consumed by the ADMM update kernels."""
+
+    network: Network
+    params: AdmmParameters
+
+    # generators (active only)
+    gen_index: np.ndarray          # indices into the network generator axis
+    gen_bus: np.ndarray
+    gen_pmin: np.ndarray
+    gen_pmax: np.ndarray
+    gen_qmin: np.ndarray
+    gen_qmax: np.ndarray
+    gen_c2: np.ndarray
+    gen_c1: np.ndarray
+    gen_c0: np.ndarray
+
+    # branches
+    branch_from: np.ndarray
+    branch_to: np.ndarray
+    quantities: BranchQuantities
+    branch_vi_min: np.ndarray
+    branch_vi_max: np.ndarray
+    branch_vj_min: np.ndarray
+    branch_vj_max: np.ndarray
+    branch_has_limit: np.ndarray
+    branch_rate_sq: np.ndarray
+
+    # buses
+    bus_pd: np.ndarray
+    bus_qd: np.ndarray
+    bus_gs: np.ndarray
+    bus_bs: np.ndarray
+    bus_vm_mid: np.ndarray
+
+    # penalties per coupling group
+    rho: dict[str, float]
+
+    @property
+    def n_gen(self) -> int:
+        return int(self.gen_bus.shape[0])
+
+    @property
+    def n_branch(self) -> int:
+        return int(self.branch_from.shape[0])
+
+    @property
+    def n_bus(self) -> int:
+        return int(self.bus_pd.shape[0])
+
+    @property
+    def n_coupling(self) -> int:
+        """Total number of coupling constraints (2 per generator, 8 per branch)."""
+        return 2 * self.n_gen + 8 * self.n_branch
+
+    def group_length(self, group: str) -> int:
+        """Number of constraints in one coupling group."""
+        return self.n_gen if group in ("gp", "gq") else self.n_branch
+
+    @classmethod
+    def from_network(cls, network: Network, params: AdmmParameters) -> "ComponentData":
+        """Build the solver-facing layout for a case."""
+        params.validate()
+        active = np.flatnonzero(network.gen_status)
+        scale = params.objective_scale
+
+        rho = {group: (params.rho_pq if group in POWER_GROUPS else params.rho_va)
+               for group in COUPLING_GROUPS}
+
+        quantities = branch_quantities(network)
+        f = network.branch_from
+        t = network.branch_to
+        rate_sq = np.where(network.branch_has_limit,
+                           network.branch_rate_a ** 2, np.inf)
+
+        return cls(
+            network=network,
+            params=params,
+            gen_index=active,
+            gen_bus=network.gen_bus[active],
+            gen_pmin=network.gen_pmin[active],
+            gen_pmax=network.gen_pmax[active],
+            gen_qmin=network.gen_qmin[active],
+            gen_qmax=network.gen_qmax[active],
+            gen_c2=network.gen_cost_c2[active] * scale,
+            gen_c1=network.gen_cost_c1[active] * scale,
+            gen_c0=network.gen_cost_c0[active] * scale,
+            branch_from=f,
+            branch_to=t,
+            quantities=quantities,
+            branch_vi_min=network.bus_vmin[f],
+            branch_vi_max=network.bus_vmax[f],
+            branch_vj_min=network.bus_vmin[t],
+            branch_vj_max=network.bus_vmax[t],
+            branch_has_limit=network.branch_has_limit.copy(),
+            branch_rate_sq=rate_sq,
+            bus_pd=network.bus_pd.copy(),
+            bus_qd=network.bus_qd.copy(),
+            bus_gs=network.bus_gs.copy(),
+            bus_bs=network.bus_bs.copy(),
+            bus_vm_mid=0.5 * (network.bus_vmin + network.bus_vmax),
+            rho=rho,
+        )
+
+    def generation_cost(self, pg: np.ndarray) -> float:
+        """Unscaled generation cost ($/h) of an active-generator dispatch."""
+        scale = self.params.objective_scale
+        return float(np.sum(self.gen_c2 * pg * pg + self.gen_c1 * pg + self.gen_c0) / scale)

@@ -1,0 +1,174 @@
+"""Iteration state of the two-level ADMM solver.
+
+``AdmmState`` carries every array that changes during the iteration:
+component variables, bus variables and their copies, coupling multipliers
+``y``, artificial variables ``z``, outer multipliers ``lz`` (the paper's λ),
+the outer penalty ``beta``, and the per-branch augmented-Lagrangian state for
+the line-limit constraints.  Deep-copying the state is exactly the paper's
+warm-start mechanism: a new solve started from the previous period's state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.admm.data import COUPLING_GROUPS, ComponentData
+from repro.powerflow.branch_derivatives import all_flow_values
+
+
+@dataclass
+class AdmmState:
+    """Mutable iteration state (see module docstring)."""
+
+    # generator components
+    pg: np.ndarray
+    qg: np.ndarray
+
+    # branch components (local voltage variables and line-limit slacks)
+    vi: np.ndarray
+    vj: np.ndarray
+    ti: np.ndarray
+    tj: np.ndarray
+    sij: np.ndarray
+    sji: np.ndarray
+    # branch flows implied by the branch variables (cached after each update)
+    pij: np.ndarray
+    qij: np.ndarray
+    pji: np.ndarray
+    qji: np.ndarray
+
+    # bus components: originals and copies of coupled quantities
+    w: np.ndarray
+    theta: np.ndarray
+    pg_copy: np.ndarray
+    qg_copy: np.ndarray
+    pij_copy: np.ndarray
+    qij_copy: np.ndarray
+    pji_copy: np.ndarray
+    qji_copy: np.ndarray
+
+    # coupling multipliers / artificial variables / outer multipliers, per group
+    y: dict[str, np.ndarray]
+    z: dict[str, np.ndarray]
+    lz: dict[str, np.ndarray]
+
+    # per-branch augmented-Lagrangian state for line limits
+    lam_sij: np.ndarray
+    lam_sji: np.ndarray
+    rho_tilde: np.ndarray
+
+    # outer level
+    beta: float
+    outer_iteration: int = 0
+    total_inner_iterations: int = 0
+
+    # bookkeeping for dual residuals (previous bus-side values)
+    previous_bus_values: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def copy(self) -> "AdmmState":
+        """Deep copy (used for warm starting and for snapshotting)."""
+        return AdmmState(
+            pg=self.pg.copy(), qg=self.qg.copy(),
+            vi=self.vi.copy(), vj=self.vj.copy(), ti=self.ti.copy(), tj=self.tj.copy(),
+            sij=self.sij.copy(), sji=self.sji.copy(),
+            pij=self.pij.copy(), qij=self.qij.copy(),
+            pji=self.pji.copy(), qji=self.qji.copy(),
+            w=self.w.copy(), theta=self.theta.copy(),
+            pg_copy=self.pg_copy.copy(), qg_copy=self.qg_copy.copy(),
+            pij_copy=self.pij_copy.copy(), qij_copy=self.qij_copy.copy(),
+            pji_copy=self.pji_copy.copy(), qji_copy=self.qji_copy.copy(),
+            y={k: v.copy() for k, v in self.y.items()},
+            z={k: v.copy() for k, v in self.z.items()},
+            lz={k: v.copy() for k, v in self.lz.items()},
+            lam_sij=self.lam_sij.copy(), lam_sji=self.lam_sji.copy(),
+            rho_tilde=self.rho_tilde.copy(),
+            beta=self.beta, outer_iteration=self.outer_iteration,
+            total_inner_iterations=self.total_inner_iterations,
+            previous_bus_values={k: v.copy() for k, v in self.previous_bus_values.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Residuals of the coupling constraints                               #
+    # ------------------------------------------------------------------ #
+    def coupling_residuals(self, data: ComponentData) -> dict[str, np.ndarray]:
+        """Residual ``r = (component value) − (bus-side value)`` per group."""
+        f = data.branch_from
+        t = data.branch_to
+        return {
+            "gp": self.pg - self.pg_copy,
+            "gq": self.qg - self.qg_copy,
+            "pij": self.pij - self.pij_copy,
+            "qij": self.qij - self.qij_copy,
+            "pji": self.pji - self.pji_copy,
+            "qji": self.qji - self.qji_copy,
+            "wi": self.vi ** 2 - self.w[f],
+            "ti": self.ti - self.theta[f],
+            "wj": self.vj ** 2 - self.w[t],
+            "tj": self.tj - self.theta[t],
+        }
+
+    def bus_side_values(self) -> dict[str, np.ndarray]:
+        """Current bus-owned values per group (used for dual residuals)."""
+        return {
+            "gp": self.pg_copy, "gq": self.qg_copy,
+            "pij": self.pij_copy, "qij": self.qij_copy,
+            "pji": self.pji_copy, "qji": self.qji_copy,
+            "wi": self.w, "ti": self.theta, "wj": self.w, "tj": self.theta,
+        }
+
+    def z_norm(self) -> float:
+        """Infinity norm of the stacked artificial variable ``z``."""
+        return max((float(np.max(np.abs(v))) if v.size else 0.0) for v in self.z.values())
+
+    def refresh_flows(self, data: ComponentData) -> None:
+        """Recompute the branch flows implied by the branch variables."""
+        self.pij, self.qij, self.pji, self.qji = all_flow_values(
+            data.quantities, self.vi, self.vj, self.ti, self.tj)
+
+
+def cold_start_state(data: ComponentData) -> AdmmState:
+    """Build the paper's cold-start state.
+
+    Real and reactive generation and voltage magnitudes start at the midpoint
+    of their bounds, angles at zero, power flows at the values implied by the
+    initial voltages, multipliers and artificial variables at zero.
+    """
+    n_gen, n_branch, n_bus = data.n_gen, data.n_branch, data.n_bus
+
+    pg = 0.5 * (data.gen_pmin + data.gen_pmax)
+    qg = 0.5 * (data.gen_qmin + data.gen_qmax)
+
+    vm_mid = data.bus_vm_mid
+    vi = vm_mid[data.branch_from].copy()
+    vj = vm_mid[data.branch_to].copy()
+    ti = np.zeros(n_branch)
+    tj = np.zeros(n_branch)
+    pij, qij, pji, qji = all_flow_values(data.quantities, vi, vj, ti, tj)
+
+    rate_sq = np.where(np.isfinite(data.branch_rate_sq), data.branch_rate_sq, 0.0)
+    sij = np.where(data.branch_has_limit,
+                   np.clip(-(pij ** 2 + qij ** 2), -rate_sq, 0.0), 0.0)
+    sji = np.where(data.branch_has_limit,
+                   np.clip(-(pji ** 2 + qji ** 2), -rate_sq, 0.0), 0.0)
+
+    zeros = {g: np.zeros(data.group_length(g)) for g in COUPLING_GROUPS}
+
+    state = AdmmState(
+        pg=pg, qg=qg,
+        vi=vi, vj=vj, ti=ti, tj=tj, sij=sij, sji=sji,
+        pij=pij, qij=qij, pji=pji, qji=qji,
+        w=vm_mid ** 2, theta=np.zeros(n_bus),
+        pg_copy=pg.copy(), qg_copy=qg.copy(),
+        pij_copy=pij.copy(), qij_copy=qij.copy(),
+        pji_copy=pji.copy(), qji_copy=qji.copy(),
+        y={g: v.copy() for g, v in zeros.items()},
+        z={g: v.copy() for g, v in zeros.items()},
+        lz={g: v.copy() for g, v in zeros.items()},
+        lam_sij=np.zeros(n_branch), lam_sji=np.zeros(n_branch),
+        rho_tilde=np.full(n_branch, data.params.auglag_penalty_init),
+        beta=data.params.beta_init,
+    )
+    state.previous_bus_values = {k: v.copy() for k, v in state.bus_side_values().items()}
+    return state

@@ -1,0 +1,15 @@
+"""Solution-quality metrics, report rendering, and the experiment registry."""
+
+from repro.analysis.metrics import (
+    SolutionMetrics,
+    constraint_violation,
+    evaluate_solution,
+    relative_objective_gap,
+)
+
+__all__ = [
+    "SolutionMetrics",
+    "constraint_violation",
+    "evaluate_solution",
+    "relative_objective_gap",
+]

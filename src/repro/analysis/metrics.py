@@ -1,0 +1,94 @@
+"""Solution-quality metrics matching the paper's reporting conventions.
+
+The paper reports two quantities per solve (Table II, Figures 2–3):
+
+* ``‖c(x)‖_∞`` — the maximum constraint violation of the reported solution,
+  with branch flows *recomputed from the bus voltages* and line limits
+  tightened to 99 % of their capacity;
+* the relative objective gap ``|f − f*| / f*`` against the reference
+  objective ``f*`` produced by the centralized baseline (Ipopt in the paper,
+  the interior-point solver of :mod:`repro.baseline` here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.network import Network
+from repro.powerflow.flows import branch_flows, line_limit_violation, power_balance_residual
+
+#: Fraction of the line rating used when checking the reported solution
+#: (Section IV-A of the paper).
+LINE_CAPACITY_FRACTION = 0.99
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """Violation breakdown of a candidate ACOPF solution."""
+
+    power_balance: float
+    line_limit: float
+    voltage_bound: float
+    generator_bound: float
+    objective: float
+
+    @property
+    def max_violation(self) -> float:
+        """The paper's ``‖c(x)‖_∞``: the worst violation across all groups."""
+        return max(self.power_balance, self.line_limit, self.voltage_bound,
+                   self.generator_bound)
+
+
+def constraint_violation(network: Network, vm: np.ndarray, va: np.ndarray,
+                         pg: np.ndarray, qg: np.ndarray,
+                         capacity_fraction: float = LINE_CAPACITY_FRACTION) -> SolutionMetrics:
+    """Evaluate the violation breakdown of a solution (all in per unit)."""
+    vm = np.asarray(vm, dtype=float)
+    va = np.asarray(va, dtype=float)
+    pg = np.asarray(pg, dtype=float)
+    qg = np.asarray(qg, dtype=float)
+
+    p_res, q_res = power_balance_residual(network, vm, va, pg, qg)
+    balance = float(np.max(np.abs(np.concatenate([p_res, q_res])))) if p_res.size else 0.0
+
+    flows = branch_flows(network, vm, va)
+    limit = line_limit_violation(network, flows, capacity_fraction=capacity_fraction)
+    line = float(limit.max()) if limit.size else 0.0
+
+    v_viol = np.maximum(network.bus_vmin - vm, 0.0) + np.maximum(vm - network.bus_vmax, 0.0)
+    voltage = float(v_viol.max()) if v_viol.size else 0.0
+
+    active = network.gen_status
+    p_viol = np.maximum(network.gen_pmin - pg, 0.0) + np.maximum(pg - network.gen_pmax, 0.0)
+    q_viol = np.maximum(network.gen_qmin - qg, 0.0) + np.maximum(qg - network.gen_qmax, 0.0)
+    gen = float(np.max((p_viol + q_viol)[active])) if active.any() else 0.0
+
+    objective = network.generation_cost(pg)
+    return SolutionMetrics(power_balance=balance, line_limit=line, voltage_bound=voltage,
+                           generator_bound=gen, objective=objective)
+
+
+def relative_objective_gap(objective: float, reference: float) -> float:
+    """The paper's ``|f − f*| / f*`` (returns ``nan`` for a zero reference)."""
+    if reference == 0:
+        return float("nan")
+    return abs(objective - reference) / abs(reference)
+
+
+def evaluate_solution(network: Network, vm, va, pg, qg,
+                      reference_objective: float | None = None) -> dict[str, float]:
+    """Convenience dictionary with the metrics the benchmark tables print."""
+    metrics = constraint_violation(network, vm, va, pg, qg)
+    out = {
+        "objective": metrics.objective,
+        "max_violation": metrics.max_violation,
+        "power_balance_violation": metrics.power_balance,
+        "line_limit_violation": metrics.line_limit,
+        "voltage_bound_violation": metrics.voltage_bound,
+        "generator_bound_violation": metrics.generator_bound,
+    }
+    if reference_objective is not None:
+        out["relative_gap"] = relative_objective_gap(metrics.objective, reference_objective)
+    return out

@@ -1,0 +1,65 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows / series the paper reports.
+Figures are rendered as aligned numeric series (one row per time period)
+because the reproduction is judged on the *shape* of the curves, not on a
+graphic; the arrays behind them are returned so users can plot them with any
+tool they like.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e4 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(title: str, series: Mapping[str, np.ndarray],
+                  index_name: str = "period") -> str:
+    """Render per-period series (the data behind Figures 1–3) as a table."""
+    names = list(series)
+    length = max((len(np.atleast_1d(v)) for v in series.values()), default=0)
+    rows = []
+    for i in range(length):
+        row: list[object] = [i + 1]
+        for name in names:
+            values = np.atleast_1d(series[name])
+            row.append(float(values[i]) if i < len(values) else float("nan"))
+        rows.append(row)
+    return render_table([index_name, *names], rows, title=title)
+
+
+def summarize_speedup(admm_seconds: float, baseline_seconds: float) -> str:
+    """One-line speed comparison used in benchmark output."""
+    if admm_seconds <= 0:
+        return "speedup: n/a"
+    return (f"ADMM {admm_seconds:.2f}s vs baseline {baseline_seconds:.2f}s "
+            f"(x{baseline_seconds / admm_seconds:.2f})")

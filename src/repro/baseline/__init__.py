@@ -1,0 +1,29 @@
+"""Centralized ACOPF baseline (the paper's Ipopt reference, rebuilt).
+
+The paper compares its GPU ADMM against Ipopt solving the full ACOPF NLP
+through PowerModels.jl.  This subpackage provides the equivalent baseline:
+
+* :mod:`repro.baseline.nlp` — a small NLP interface (objective, constraints,
+  sparse first and second derivatives);
+* :mod:`repro.baseline.acopf_nlp` — the polar-coordinate ACOPF NLP with exact
+  sparse Jacobians and Hessians, assembled from the shared per-branch flow
+  derivatives;
+* :mod:`repro.baseline.interior_point` — a primal-dual interior-point solver
+  (the same algorithm family as Ipopt / MATPOWER's MIPS) with sparse KKT
+  solves;
+* :mod:`repro.baseline.scipy_solver` — a `scipy.optimize` cross-check wrapper
+  used in tests.
+"""
+
+from repro.baseline.acopf_nlp import AcopfNlp
+from repro.baseline.interior_point import InteriorPointOptions, IpmResult, solve_nlp
+from repro.baseline.solver import BaselineSolution, solve_acopf_ipm
+
+__all__ = [
+    "AcopfNlp",
+    "InteriorPointOptions",
+    "IpmResult",
+    "solve_nlp",
+    "BaselineSolution",
+    "solve_acopf_ipm",
+]

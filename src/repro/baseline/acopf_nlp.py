@@ -1,0 +1,343 @@
+"""Polar-coordinate ACOPF NLP with exact sparse derivatives.
+
+This is the problem the paper hands to Ipopt through PowerModels.jl: the full
+formulation (1) with voltage variables in polar form, generator injections as
+variables, bus power-balance equalities, and squared apparent-power line
+limits.  All constraint Jacobians and Lagrangian Hessians are assembled from
+the shared per-branch flow derivatives of
+:mod:`repro.powerflow.branch_derivatives`, scattered into sparse matrices.
+
+Variable layout (all per unit):
+
+========  =======================  =========================
+block     indices                  meaning
+========  =======================  =========================
+``va``    ``0 … nb−1``             bus voltage angles (rad)
+``vm``    ``nb … 2nb−1``           bus voltage magnitudes
+``pg``    ``2nb … 2nb+ng−1``       active-generator real output
+``qg``    ``2nb+ng … 2nb+2ng−1``   active-generator reactive output
+========  =======================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.baseline.nlp import NonlinearProgram
+from repro.grid.network import Network
+from repro.powerflow.branch_derivatives import branch_quantities, quantity_value_grad_hess
+
+#: order of the per-branch local state used by the flow derivatives
+_LOCAL = ("vi", "vj", "ti", "tj")
+
+
+@dataclass
+class _Layout:
+    """Index bookkeeping of the NLP variable vector."""
+
+    n_bus: int
+    n_gen: int
+
+    @property
+    def n(self) -> int:
+        return 2 * self.n_bus + 2 * self.n_gen
+
+    def va(self, bus: np.ndarray) -> np.ndarray:
+        return np.asarray(bus)
+
+    def vm(self, bus: np.ndarray) -> np.ndarray:
+        return self.n_bus + np.asarray(bus)
+
+    def pg(self, gen: np.ndarray) -> np.ndarray:
+        return 2 * self.n_bus + np.asarray(gen)
+
+    def qg(self, gen: np.ndarray) -> np.ndarray:
+        return 2 * self.n_bus + self.n_gen + np.asarray(gen)
+
+
+class AcopfNlp(NonlinearProgram):
+    """The centralized ACOPF NLP for one network."""
+
+    def __init__(self, network: Network, objective_scale: float = 1.0,
+                 enforce_line_limits: bool = True) -> None:
+        self.network = network
+        self.objective_scale = objective_scale
+        self.enforce_line_limits = enforce_line_limits
+
+        self.active_gens = np.flatnonzero(network.gen_status)
+        self.layout = _Layout(n_bus=network.n_bus, n_gen=self.active_gens.size)
+        self.n = self.layout.n
+
+        self.gen_bus = network.gen_bus[self.active_gens]
+        self.c2 = network.gen_cost_c2[self.active_gens] * objective_scale
+        self.c1 = network.gen_cost_c1[self.active_gens] * objective_scale
+        self.c0 = network.gen_cost_c0[self.active_gens] * objective_scale
+
+        self.quantities = branch_quantities(network)
+        self.branch_from = network.branch_from
+        self.branch_to = network.branch_to
+        self.limited = np.flatnonzero(network.branch_has_limit) if enforce_line_limits \
+            else np.zeros(0, dtype=int)
+        self.rate_sq = network.branch_rate_a[self.limited] ** 2
+
+        # Per-branch local variable indices in the global vector, order
+        # (vi, vj, ti, tj) to match the flow derivatives.
+        lay = self.layout
+        self.branch_cols = np.column_stack([
+            lay.vm(self.branch_from), lay.vm(self.branch_to),
+            lay.va(self.branch_from), lay.va(self.branch_to)])
+
+    # ------------------------------------------------------------------ #
+    # Points and bounds                                                    #
+    # ------------------------------------------------------------------ #
+    def initial_point(self) -> np.ndarray:
+        """The paper's cold start: midpoint dispatch / magnitude, zero angles."""
+        net = self.network
+        x = np.zeros(self.n)
+        lay = self.layout
+        x[lay.vm(np.arange(net.n_bus))] = 0.5 * (net.bus_vmin + net.bus_vmax)
+        x[lay.pg(np.arange(self.active_gens.size))] = 0.5 * (
+            net.gen_pmin[self.active_gens] + net.gen_pmax[self.active_gens])
+        x[lay.qg(np.arange(self.active_gens.size))] = 0.5 * (
+            net.gen_qmin[self.active_gens] + net.gen_qmax[self.active_gens])
+        return x
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        net = self.network
+        lay = self.layout
+        lb = np.full(self.n, -np.inf)
+        ub = np.full(self.n, np.inf)
+        buses = np.arange(net.n_bus)
+        gens = np.arange(self.active_gens.size)
+        lb[lay.va(buses)] = -2.0 * np.pi
+        ub[lay.va(buses)] = 2.0 * np.pi
+        lb[lay.vm(buses)] = net.bus_vmin
+        ub[lay.vm(buses)] = net.bus_vmax
+        lb[lay.pg(gens)] = net.gen_pmin[self.active_gens]
+        ub[lay.pg(gens)] = net.gen_pmax[self.active_gens]
+        lb[lay.qg(gens)] = net.gen_qmin[self.active_gens]
+        ub[lay.qg(gens)] = net.gen_qmax[self.active_gens]
+        # Reference angle pinned to zero.
+        ref = net.ref_bus
+        lb[lay.va(ref)] = 0.0
+        ub[lay.va(ref)] = 0.0
+        return lb, ub
+
+    # ------------------------------------------------------------------ #
+    # Objective                                                            #
+    # ------------------------------------------------------------------ #
+    def objective(self, x: np.ndarray) -> float:
+        pg = x[self.layout.pg(np.arange(self.active_gens.size))]
+        return float(np.sum(self.c2 * pg * pg + self.c1 * pg + self.c0))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        grad = np.zeros(self.n)
+        gens = np.arange(self.active_gens.size)
+        pg = x[self.layout.pg(gens)]
+        grad[self.layout.pg(gens)] = 2.0 * self.c2 * pg + self.c1
+        return grad
+
+    # ------------------------------------------------------------------ #
+    # Shared branch evaluations                                            #
+    # ------------------------------------------------------------------ #
+    def _branch_eval(self, x: np.ndarray):
+        lay = self.layout
+        vm = x[lay.vm(np.arange(self.network.n_bus))]
+        va = x[lay.va(np.arange(self.network.n_bus))]
+        vi = vm[self.branch_from]
+        vj = vm[self.branch_to]
+        ti = va[self.branch_from]
+        tj = va[self.branch_to]
+        out = {}
+        for name, coeff in zip(("pij", "qij", "pji", "qji"), self.quantities.as_tuple()):
+            out[name] = quantity_value_grad_hess(coeff, vi, vj, ti, tj)
+        return out, vm, va
+
+    # ------------------------------------------------------------------ #
+    # Equality constraints: power balance                                  #
+    # ------------------------------------------------------------------ #
+    def equality_constraints(self, x: np.ndarray) -> np.ndarray:
+        net = self.network
+        flows, vm, _ = self._branch_eval(x)
+        gens = np.arange(self.active_gens.size)
+        pg = x[self.layout.pg(gens)]
+        qg = x[self.layout.qg(gens)]
+
+        p_bal = -net.bus_pd - net.bus_gs * vm * vm
+        q_bal = -net.bus_qd + net.bus_bs * vm * vm
+        np.add.at(p_bal, self.gen_bus, pg)
+        np.add.at(q_bal, self.gen_bus, qg)
+        np.subtract.at(p_bal, self.branch_from, flows["pij"][0])
+        np.subtract.at(q_bal, self.branch_from, flows["qij"][0])
+        np.subtract.at(p_bal, self.branch_to, flows["pji"][0])
+        np.subtract.at(q_bal, self.branch_to, flows["qji"][0])
+        return np.concatenate([p_bal, q_bal])
+
+    def equality_jacobian(self, x: np.ndarray) -> sparse.csr_matrix:
+        net = self.network
+        nb = net.n_bus
+        lay = self.layout
+        flows, vm, _ = self._branch_eval(x)
+
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+
+        # Generator columns.
+        gens = np.arange(self.active_gens.size)
+        rows.append(self.gen_bus)
+        cols.append(lay.pg(gens))
+        vals.append(np.ones(gens.size))
+        rows.append(nb + self.gen_bus)
+        cols.append(lay.qg(gens))
+        vals.append(np.ones(gens.size))
+
+        # Shunt terms on vm.
+        buses = np.arange(nb)
+        rows.append(buses)
+        cols.append(lay.vm(buses))
+        vals.append(-2.0 * net.bus_gs * vm)
+        rows.append(nb + buses)
+        cols.append(lay.vm(buses))
+        vals.append(2.0 * net.bus_bs * vm)
+
+        # Branch flow terms: row owner is the from-bus for (pij, qij) and the
+        # to-bus for (pji, qji); contribution is −∂flow/∂(local state).
+        for name, row_bus, row_offset in (("pij", self.branch_from, 0),
+                                          ("qij", self.branch_from, nb),
+                                          ("pji", self.branch_to, 0),
+                                          ("qji", self.branch_to, nb)):
+            grad = flows[name][1]  # (nl, 4)
+            rows.append(np.repeat(row_offset + row_bus, 4))
+            cols.append(self.branch_cols.ravel())
+            vals.append(-grad.ravel())
+
+        jac = sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(2 * nb, self.n))
+        return jac.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Inequality constraints: squared apparent-power line limits           #
+    # ------------------------------------------------------------------ #
+    def inequality_constraints(self, x: np.ndarray) -> np.ndarray:
+        if self.limited.size == 0:
+            return np.zeros(0)
+        flows, _, _ = self._branch_eval(x)
+        sel = self.limited
+        from_side = flows["pij"][0][sel] ** 2 + flows["qij"][0][sel] ** 2 - self.rate_sq
+        to_side = flows["pji"][0][sel] ** 2 + flows["qji"][0][sel] ** 2 - self.rate_sq
+        return np.concatenate([from_side, to_side])
+
+    def inequality_jacobian(self, x: np.ndarray) -> sparse.csr_matrix:
+        n_lim = self.limited.size
+        if n_lim == 0:
+            return sparse.csr_matrix((0, self.n))
+        flows, _, _ = self._branch_eval(x)
+        sel = self.limited
+        cols = self.branch_cols[sel]
+
+        rows_list, cols_list, vals_list = [], [], []
+        for offset, (pname, qname) in enumerate((("pij", "qij"), ("pji", "qji"))):
+            p_val, p_grad = flows[pname][0][sel], flows[pname][1][sel]
+            q_val, q_grad = flows[qname][0][sel], flows[qname][1][sel]
+            grad = 2.0 * p_val[:, None] * p_grad + 2.0 * q_val[:, None] * q_grad
+            rows_list.append(np.repeat(offset * n_lim + np.arange(n_lim), 4))
+            cols_list.append(cols.ravel())
+            vals_list.append(grad.ravel())
+        jac = sparse.coo_matrix(
+            (np.concatenate(vals_list),
+             (np.concatenate(rows_list), np.concatenate(cols_list))),
+            shape=(2 * n_lim, self.n))
+        return jac.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Hessian of the Lagrangian                                            #
+    # ------------------------------------------------------------------ #
+    def lagrangian_hessian(self, x: np.ndarray, lam_eq: np.ndarray,
+                           mu_ineq: np.ndarray, obj_factor: float = 1.0
+                           ) -> sparse.csr_matrix:
+        net = self.network
+        nb = net.n_bus
+        lay = self.layout
+        flows, vm, _ = self._branch_eval(x)
+
+        rows_list, cols_list, vals_list = [], [], []
+
+        # Objective block (diagonal in pg).
+        gens = np.arange(self.active_gens.size)
+        rows_list.append(lay.pg(gens))
+        cols_list.append(lay.pg(gens))
+        vals_list.append(obj_factor * 2.0 * self.c2)
+
+        lam_p = lam_eq[:nb]
+        lam_q = lam_eq[nb:2 * nb]
+
+        # Shunt curvature of the power balances.
+        buses = np.arange(nb)
+        rows_list.append(lay.vm(buses))
+        cols_list.append(lay.vm(buses))
+        vals_list.append(lam_p * (-2.0 * net.bus_gs) + lam_q * (2.0 * net.bus_bs))
+
+        # Branch curvature: the balance rows carry −flow, so the multiplier
+        # enters with a minus sign.
+        weight = {
+            "pij": -lam_p[self.branch_from],
+            "qij": -lam_q[self.branch_from],
+            "pji": -lam_p[self.branch_to],
+            "qji": -lam_q[self.branch_to],
+        }
+        if self.limited.size and mu_ineq.size:
+            n_lim = self.limited.size
+            mu_from = np.zeros(net.n_branch)
+            mu_to = np.zeros(net.n_branch)
+            mu_from[self.limited] = mu_ineq[:n_lim]
+            mu_to[self.limited] = mu_ineq[n_lim:2 * n_lim]
+        else:
+            mu_from = mu_to = np.zeros(net.n_branch)
+
+        block = np.zeros((net.n_branch, 4, 4))
+        for name in ("pij", "qij", "pji", "qji"):
+            _, _, hess = flows[name]
+            block += weight[name][:, None, None] * hess
+        # Line-limit curvature: h = p² + q² − rate² per side.
+        for mu_side, pname, qname in ((mu_from, "pij", "qij"), (mu_to, "pji", "qji")):
+            p_val, p_grad, p_hess = flows[pname]
+            q_val, q_grad, q_hess = flows[qname]
+            block += mu_side[:, None, None] * 2.0 * (
+                np.einsum("bi,bj->bij", p_grad, p_grad) + p_val[:, None, None] * p_hess
+                + np.einsum("bi,bj->bij", q_grad, q_grad) + q_val[:, None, None] * q_hess)
+
+        cols4 = self.branch_cols
+        rows_list.append(np.repeat(cols4, 4, axis=1).ravel())
+        cols_list.append(np.tile(cols4, (1, 4)).ravel())
+        vals_list.append(block.reshape(net.n_branch, 16).ravel())
+
+        hess = sparse.coo_matrix(
+            (np.concatenate(vals_list),
+             (np.concatenate(rows_list), np.concatenate(cols_list))),
+            shape=(self.n, self.n))
+        return hess.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Solution unpacking                                                   #
+    # ------------------------------------------------------------------ #
+    def unpack(self, x: np.ndarray) -> dict[str, np.ndarray]:
+        """Split an NLP point into named per-unit arrays (full generator axis)."""
+        net = self.network
+        lay = self.layout
+        buses = np.arange(net.n_bus)
+        gens = np.arange(self.active_gens.size)
+        pg = np.zeros(net.n_gen)
+        qg = np.zeros(net.n_gen)
+        pg[self.active_gens] = x[lay.pg(gens)]
+        qg[self.active_gens] = x[lay.qg(gens)]
+        return {
+            "va": x[lay.va(buses)],
+            "vm": x[lay.vm(buses)],
+            "pg": pg,
+            "qg": qg,
+        }

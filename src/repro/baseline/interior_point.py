@@ -1,0 +1,247 @@
+"""Primal-dual interior-point NLP solver (the centralized baseline).
+
+The algorithm is the classic primal-dual log-barrier method used by Ipopt and
+by MATPOWER's MIPS solver: general inequalities and variable bounds are
+relaxed with slacks and a log barrier, the barrier KKT system is solved with
+Newton steps computed from a reduced sparse saddle-point system, step lengths
+keep slacks and their multipliers strictly positive, and the barrier
+parameter is driven to zero from the complementarity gap.
+
+Like Ipopt on the paper's experiments, the dominant cost per iteration is the
+sparse factorisation of the KKT system — which is exactly why the paper moves
+to a decomposition method on GPUs instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.baseline.nlp import NonlinearProgram
+from repro.exceptions import ConvergenceError
+from repro.logging_utils import get_logger
+
+LOGGER = get_logger("baseline")
+
+
+@dataclass
+class InteriorPointOptions:
+    """Options of :func:`solve_nlp`.
+
+    ``feastol`` / ``gradtol`` / ``comptol`` / ``costtol`` mirror MIPS'
+    feasibility, gradient, complementarity, and cost-change criteria.
+    """
+
+    max_iter: int = 150
+    feastol: float = 1e-6
+    gradtol: float = 1e-6
+    comptol: float = 1e-6
+    costtol: float = 1e-8
+    sigma: float = 0.1
+    step_fraction: float = 0.99995
+    slack_min: float = 1e-12
+    regularisation: float = 1e-11
+    max_regularisation: float = 1e-2
+    verbose: bool = False
+
+
+@dataclass
+class IpmResult:
+    """Result of an interior-point solve."""
+
+    x: np.ndarray
+    objective: float
+    converged: bool
+    iterations: int
+    feasibility: float
+    gradient_norm: float
+    complementarity: float
+    lam_eq: np.ndarray
+    mu_ineq: np.ndarray
+    solve_seconds: float
+    history: list[dict[str, float]] = field(default_factory=list)
+
+
+def _bounds_as_inequalities(nlp: NonlinearProgram) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Represent finite variable bounds as rows of ``A x ≤ b``."""
+    lb, ub = nlp.bounds()
+    n = nlp.n
+    rows = []
+    rhs = []
+    eye = sparse.identity(n, format="csr")
+    upper = np.flatnonzero(np.isfinite(ub))
+    lower = np.flatnonzero(np.isfinite(lb))
+    if upper.size:
+        rows.append(eye[upper])
+        rhs.append(ub[upper])
+    if lower.size:
+        rows.append(-eye[lower])
+        rhs.append(-lb[lower])
+    if rows:
+        return sparse.vstack(rows).tocsr(), np.concatenate(rhs)
+    return sparse.csr_matrix((0, n)), np.zeros(0)
+
+
+def solve_nlp(nlp: NonlinearProgram, options: InteriorPointOptions | None = None,
+              x0: np.ndarray | None = None,
+              raise_on_failure: bool = False) -> IpmResult:
+    """Solve an NLP with the primal-dual interior-point method."""
+    opts = options or InteriorPointOptions()
+    start = time.perf_counter()
+
+    n = nlp.n
+    x = np.asarray(x0 if x0 is not None else nlp.initial_point(), dtype=float).copy()
+    lb, ub = nlp.bounds()
+    # Keep the starting point strictly inside its bounds.
+    span = np.where(np.isfinite(ub) & np.isfinite(lb), ub - lb, 1.0)
+    margin = 1e-4 * np.maximum(span, 1e-2)
+    x = np.clip(x, np.where(np.isfinite(lb), lb + margin, -np.inf),
+                np.where(np.isfinite(ub), ub - margin, np.inf))
+
+    bound_jac, bound_rhs = _bounds_as_inequalities(nlp)
+    n_bound = bound_rhs.size
+
+    def eval_ineq(xv: np.ndarray) -> tuple[np.ndarray, sparse.csr_matrix]:
+        h_user = nlp.inequality_constraints(xv)
+        jac_user = nlp.inequality_jacobian(xv)
+        h_bound = (bound_jac @ xv - bound_rhs) if n_bound else np.zeros(0)
+        h = np.concatenate([h_user, h_bound])
+        jac = sparse.vstack([jac_user, bound_jac]).tocsr() if n_bound else jac_user.tocsr()
+        return h, jac
+
+    g = nlp.equality_constraints(x)
+    jac_g = nlp.equality_jacobian(x)
+    h, jac_h = eval_ineq(x)
+    n_eq, n_ineq = g.size, h.size
+
+    # Slack and multiplier initialisation (MIPS-style).
+    z = np.maximum(-h, 1.0)
+    mu = np.full(n_ineq, 1.0)
+    lam = np.zeros(n_eq)
+    gamma = opts.sigma * float(z @ mu) / max(n_ineq, 1) if n_ineq else 0.0
+
+    f = nlp.objective(x)
+    grad_f = nlp.gradient(x)
+    f_prev = f
+    history: list[dict[str, float]] = []
+    converged = False
+    iterations = 0
+
+    def norms(grad_l: np.ndarray) -> tuple[float, float, float]:
+        feas = 0.0
+        if n_eq:
+            feas = max(feas, float(np.max(np.abs(g))))
+        if n_ineq:
+            feas = max(feas, float(np.max(np.maximum(h, 0.0))))
+        gradn = float(np.max(np.abs(grad_l))) / (1.0 + float(np.max(np.abs(x))))
+        comp = float(z @ mu) / (1.0 + abs(float(x @ grad_f))) if n_ineq else 0.0
+        return feas, gradn, comp
+
+    grad_l = grad_f + (jac_g.T @ lam if n_eq else 0.0) + (jac_h.T @ mu if n_ineq else 0.0)
+    feas, gradn, comp = norms(grad_l)
+
+    for iterations in range(1, opts.max_iter + 1):
+        # --- assemble the reduced Newton system ---------------------------
+        hess = nlp.lagrangian_hessian(x, lam, mu[:n_ineq - n_bound] if n_bound else mu)
+        z_safe = np.maximum(z, opts.slack_min)
+        zinv_mu = mu / z_safe
+        if n_ineq:
+            m_matrix = hess + jac_h.T @ sparse.diags(zinv_mu) @ jac_h
+            n_vector = grad_l + jac_h.T @ ((gamma + mu * (h + z)) / z_safe - mu)
+        else:
+            m_matrix = hess.copy()
+            n_vector = grad_l.copy()
+
+        reg = opts.regularisation
+        while True:
+            if n_eq:
+                kkt = sparse.bmat([
+                    [m_matrix + reg * sparse.identity(n), jac_g.T],
+                    [jac_g, -reg * sparse.identity(n_eq)]], format="csc")
+                rhs = np.concatenate([-n_vector, -g])
+            else:
+                kkt = (m_matrix + reg * sparse.identity(n)).tocsc()
+                rhs = -n_vector
+            try:
+                lu = splu(kkt)
+                step = lu.solve(rhs)
+            except RuntimeError:
+                step = np.full(rhs.shape, np.nan)
+            if np.all(np.isfinite(step)):
+                break
+            reg = reg * 100 if reg > 0 else 1e-8
+            if reg > opts.max_regularisation:
+                if raise_on_failure:
+                    raise ConvergenceError("KKT system could not be factorised",
+                                           iterations=iterations, residual=feas)
+                elapsed = time.perf_counter() - start
+                return IpmResult(x=x, objective=f, converged=False, iterations=iterations,
+                                 feasibility=feas, gradient_norm=gradn, complementarity=comp,
+                                 lam_eq=lam, mu_ineq=mu[:n_ineq - n_bound] if n_bound else mu,
+                                 solve_seconds=elapsed, history=history)
+
+        dx = step[:n]
+        dlam = step[n:] if n_eq else np.zeros(0)
+
+        if n_ineq:
+            dz = -h - z - jac_h @ dx
+            dmu = -mu + (gamma - mu * dz) / z_safe
+        else:
+            dz = np.zeros(0)
+            dmu = np.zeros(0)
+
+        # --- step lengths (fraction to the boundary) ------------------------
+        alpha_p = 1.0
+        alpha_d = 1.0
+        if n_ineq:
+            neg_dz = dz < 0
+            if neg_dz.any():
+                alpha_p = min(1.0, opts.step_fraction * float(np.min(-z[neg_dz] / dz[neg_dz])))
+            neg_dmu = dmu < 0
+            if neg_dmu.any():
+                alpha_d = min(1.0, opts.step_fraction * float(np.min(-mu[neg_dmu] / dmu[neg_dmu])))
+
+        x = x + alpha_p * dx
+        z = z + alpha_p * dz
+        lam = lam + alpha_d * dlam
+        mu = mu + alpha_d * dmu
+
+        # --- re-evaluate ----------------------------------------------------
+        f_prev = f
+        f = nlp.objective(x)
+        grad_f = nlp.gradient(x)
+        g = nlp.equality_constraints(x)
+        jac_g = nlp.equality_jacobian(x)
+        h, jac_h = eval_ineq(x)
+        grad_l = grad_f + (jac_g.T @ lam if n_eq else 0.0) + (jac_h.T @ mu if n_ineq else 0.0)
+        feas, gradn, comp = norms(grad_l)
+        cost_change = abs(f - f_prev) / (1.0 + abs(f_prev))
+
+        gamma = opts.sigma * float(z @ mu) / max(n_ineq, 1) if n_ineq else 0.0
+        history.append({"iteration": iterations, "objective": f, "feasibility": feas,
+                        "gradient": gradn, "complementarity": comp, "gamma": gamma,
+                        "alpha_primal": alpha_p, "alpha_dual": alpha_d})
+        if opts.verbose:
+            LOGGER.info("ipm %3d: f=%.6e feas=%.2e grad=%.2e comp=%.2e alpha=(%.2f, %.2f)",
+                        iterations, f, feas, gradn, comp, alpha_p, alpha_d)
+
+        if feas <= opts.feastol and gradn <= opts.gradtol and comp <= opts.comptol:
+            converged = True
+            break
+        if (feas <= opts.feastol and comp <= opts.comptol
+                and cost_change <= opts.costtol and iterations > 5):
+            converged = True
+            break
+
+    if not converged and raise_on_failure:
+        raise ConvergenceError("interior-point method did not converge",
+                               iterations=iterations, residual=feas)
+    elapsed = time.perf_counter() - start
+    mu_user = mu[:n_ineq - n_bound] if n_bound else mu
+    return IpmResult(x=x, objective=f, converged=converged, iterations=iterations,
+                     feasibility=feas, gradient_norm=gradn, complementarity=comp,
+                     lam_eq=lam, mu_ineq=mu_user, solve_seconds=elapsed, history=history)

@@ -1,0 +1,105 @@
+"""Minimal nonlinear-programming interface used by the interior-point solver.
+
+A problem is posed as
+
+``min f(x)  s.t.  g(x) = 0,  h(x) ≤ 0,  xl ≤ x ≤ xu``
+
+with sparse first derivatives of the constraints and a sparse Hessian of the
+Lagrangian.  Variable bounds are kept separate from the general inequalities
+so the solver can fold them in as simple identity rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+
+class NonlinearProgram:
+    """Base class defining the interface (all methods must be overridden)."""
+
+    #: number of decision variables
+    n: int
+
+    def initial_point(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Variable bounds (use ±inf for free variables)."""
+        raise NotImplementedError
+
+    def objective(self, x: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def equality_constraints(self, x: np.ndarray) -> np.ndarray:
+        return np.zeros(0)
+
+    def equality_jacobian(self, x: np.ndarray) -> sparse.spmatrix:
+        return sparse.csr_matrix((0, self.n))
+
+    def inequality_constraints(self, x: np.ndarray) -> np.ndarray:
+        """General inequalities ``h(x) ≤ 0`` (excluding variable bounds)."""
+        return np.zeros(0)
+
+    def inequality_jacobian(self, x: np.ndarray) -> sparse.spmatrix:
+        return sparse.csr_matrix((0, self.n))
+
+    def lagrangian_hessian(self, x: np.ndarray, lam_eq: np.ndarray,
+                           mu_ineq: np.ndarray, obj_factor: float = 1.0
+                           ) -> sparse.spmatrix:
+        """Hessian of ``obj_factor·f + λᵀg + μᵀh`` (sparse, symmetric)."""
+        raise NotImplementedError
+
+
+@dataclass
+class QuadraticProgram(NonlinearProgram):
+    """Dense convex QP used to unit-test the interior-point solver.
+
+    ``min ½ xᵀ Q x + cᵀ x  s.t.  A x = b,  G x ≤ d,  xl ≤ x ≤ xu``.
+    """
+
+    q: np.ndarray
+    c: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    g_ineq: np.ndarray
+    d_ineq: np.ndarray
+    xl: np.ndarray
+    xu: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.n = self.c.shape[0]
+
+    def initial_point(self) -> np.ndarray:
+        lo = np.where(np.isfinite(self.xl), self.xl, -1.0)
+        hi = np.where(np.isfinite(self.xu), self.xu, 1.0)
+        return 0.5 * (lo + hi)
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.xl, self.xu
+
+    def objective(self, x: np.ndarray) -> float:
+        return float(0.5 * x @ self.q @ x + self.c @ x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.q @ x + self.c
+
+    def equality_constraints(self, x: np.ndarray) -> np.ndarray:
+        return self.a_eq @ x - self.b_eq
+
+    def equality_jacobian(self, x: np.ndarray) -> sparse.spmatrix:
+        return sparse.csr_matrix(self.a_eq)
+
+    def inequality_constraints(self, x: np.ndarray) -> np.ndarray:
+        return self.g_ineq @ x - self.d_ineq
+
+    def inequality_jacobian(self, x: np.ndarray) -> sparse.spmatrix:
+        return sparse.csr_matrix(self.g_ineq)
+
+    def lagrangian_hessian(self, x, lam_eq, mu_ineq, obj_factor: float = 1.0):
+        return sparse.csr_matrix(obj_factor * self.q)

@@ -1,0 +1,58 @@
+"""Cross-check ACOPF solver built on :func:`scipy.optimize.minimize`.
+
+Only intended for small cases in tests: it validates the NLP callbacks
+(objective, constraints, Jacobians) independently of the interior-point
+implementation by handing them to SciPy's ``trust-constr`` method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.baseline.acopf_nlp import AcopfNlp
+from repro.grid.network import Network
+
+
+@dataclass
+class ScipySolution:
+    """Result of the SciPy cross-check solve."""
+
+    x: np.ndarray
+    objective: float
+    converged: bool
+    iterations: int
+    vm: np.ndarray
+    va: np.ndarray
+    pg: np.ndarray
+    qg: np.ndarray
+
+
+def solve_acopf_scipy(network: Network, max_iter: int = 300,
+                      enforce_line_limits: bool = True,
+                      x0: np.ndarray | None = None) -> ScipySolution:
+    """Solve the ACOPF with ``scipy.optimize.minimize(method="trust-constr")``."""
+    nlp = AcopfNlp(network, enforce_line_limits=enforce_line_limits)
+    lb, ub = nlp.bounds()
+    x_start = nlp.initial_point() if x0 is None else np.asarray(x0, dtype=float)
+
+    constraints = [optimize.NonlinearConstraint(
+        nlp.equality_constraints, 0.0, 0.0,
+        jac=lambda x: nlp.equality_jacobian(x).toarray())]
+    if enforce_line_limits and nlp.limited.size:
+        constraints.append(optimize.NonlinearConstraint(
+            nlp.inequality_constraints, -np.inf, 0.0,
+            jac=lambda x: nlp.inequality_jacobian(x).toarray()))
+
+    result = optimize.minimize(
+        nlp.objective, x_start, jac=nlp.gradient, method="trust-constr",
+        bounds=optimize.Bounds(lb, ub), constraints=constraints,
+        options={"maxiter": max_iter, "gtol": 1e-8, "xtol": 1e-10})
+
+    parts = nlp.unpack(result.x)
+    return ScipySolution(x=result.x, objective=float(result.fun),
+                         converged=bool(result.success) or result.status in (1, 2),
+                         iterations=int(result.niter),
+                         vm=parts["vm"], va=parts["va"], pg=parts["pg"], qg=parts["qg"])

@@ -1,0 +1,64 @@
+"""High-level centralized ACOPF solve (the paper's "Ipopt" column).
+
+``solve_acopf_ipm`` builds the polar ACOPF NLP, runs the interior-point
+solver, and returns the solution in the same shape as the ADMM solver so the
+benchmark harness can compare them directly.  Warm starting mirrors the
+paper's Ipopt experiment: the previous period's primal point is passed as the
+initial iterate (and, as the paper observes, an interior-point method gains
+little from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import SolutionMetrics, constraint_violation
+from repro.baseline.acopf_nlp import AcopfNlp
+from repro.baseline.interior_point import InteriorPointOptions, IpmResult, solve_nlp
+from repro.grid.network import Network
+
+
+@dataclass
+class BaselineSolution:
+    """Centralized ACOPF solution."""
+
+    network_name: str
+    vm: np.ndarray
+    va: np.ndarray
+    pg: np.ndarray
+    qg: np.ndarray
+    objective: float
+    metrics: SolutionMetrics
+    converged: bool
+    iterations: int
+    solve_seconds: float
+    ipm: IpmResult
+
+    @property
+    def max_constraint_violation(self) -> float:
+        return self.metrics.max_violation
+
+    def as_warm_start(self) -> np.ndarray:
+        """NLP-space point usable as ``x0`` of a subsequent solve."""
+        return self.ipm.x.copy()
+
+
+def solve_acopf_ipm(network: Network, options: InteriorPointOptions | None = None,
+                    x0: np.ndarray | None = None,
+                    enforce_line_limits: bool = True) -> BaselineSolution:
+    """Solve the full ACOPF with the interior-point baseline."""
+    nlp = AcopfNlp(network, enforce_line_limits=enforce_line_limits)
+    result = solve_nlp(nlp, options=options, x0=x0)
+    parts = nlp.unpack(result.x)
+    # The 99 % line-capacity tightening only applies to the ADMM solutions
+    # (paper Section IV-A); the centralized baseline is checked at 100 %.
+    metrics = constraint_violation(network, parts["vm"], parts["va"],
+                                   parts["pg"], parts["qg"], capacity_fraction=1.0)
+    return BaselineSolution(
+        network_name=network.name,
+        vm=parts["vm"], va=parts["va"], pg=parts["pg"], qg=parts["qg"],
+        objective=metrics.objective, metrics=metrics,
+        converged=result.converged, iterations=result.iterations,
+        solve_seconds=result.solve_seconds, ipm=result)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Keeping a small, explicit hierarchy lets callers distinguish data problems
+(bad case files, inconsistent networks) from numerical failures (a solver
+that did not converge) without string matching on messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DataError(ReproError):
+    """A case file or network description is malformed or inconsistent."""
+
+
+class CaseNotFoundError(DataError):
+    """A named case is not registered and no file with that name exists."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its termination criterion."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class DimensionError(ReproError):
+    """An array argument has an unexpected shape."""
+
+
+class ConfigurationError(ReproError):
+    """Solver options are inconsistent or out of range."""

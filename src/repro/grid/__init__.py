@@ -1,0 +1,35 @@
+"""Power-grid data model, case I/O, and synthetic case generation.
+
+The grid subpackage is the data substrate every solver in this repository is
+built on.  It provides
+
+* :mod:`repro.grid.components` — plain-data records for buses, branches,
+  generators, and generator cost curves;
+* :mod:`repro.grid.network` — the :class:`~repro.grid.network.Network`
+  container with consistent integer indexing and the per-branch admittance
+  coefficients used by the paper's formulation (1);
+* :mod:`repro.grid.matpower` — a MATPOWER ``.m`` case parser and writer so
+  that the original pegase / ACTIVSg files can be used when available;
+* :mod:`repro.grid.cases` — embedded canonical cases and the case registry;
+* :mod:`repro.grid.synthetic` — synthetic pegase-like and ACTIVSg-like grid
+  generators used as stand-ins for the paper's large proprietary-format
+  cases.
+"""
+
+from repro.grid.components import Branch, Bus, BusType, CostModel, Generator, GeneratorCost
+from repro.grid.network import Network
+from repro.grid.cases import available_cases, load_case
+from repro.grid.synthetic import make_synthetic_grid
+
+__all__ = [
+    "Branch",
+    "Bus",
+    "BusType",
+    "CostModel",
+    "Generator",
+    "GeneratorCost",
+    "Network",
+    "available_cases",
+    "load_case",
+    "make_synthetic_grid",
+]

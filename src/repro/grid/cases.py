@@ -1,0 +1,219 @@
+"""Embedded cases and the case registry.
+
+``load_case(name)`` is the single entry point used throughout the package,
+examples, tests, and benchmarks.  It resolves, in order:
+
+1. embedded canonical cases (``case3``, ``case5``, ``case9``);
+2. registered synthetic analogues of the paper's test systems
+   (``pegase1354_like`` …) and their scaled-down benchmark variants
+   (``pegase118_like`` …), generated deterministically from a fixed seed;
+3. a path to a MATPOWER ``.m`` file on disk, so the original pegase /
+   ACTIVSg cases can be used directly when available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.exceptions import CaseNotFoundError
+from repro.grid.components import Branch, Bus, BusType, CostModel, Generator, GeneratorCost
+from repro.grid.matpower import parse_case_text, read_case
+from repro.grid.network import Network
+
+# --------------------------------------------------------------------- #
+# Embedded canonical cases                                               #
+# --------------------------------------------------------------------- #
+
+#: The WSCC 9-bus case in MATPOWER format (case9.m), embedded verbatim so the
+#: MATPOWER parser is exercised even without external files.
+CASE9_TEXT = """
+function mpc = case9
+%% MATPOWER Case Format : Version 2
+mpc.version = '2';
+mpc.baseMVA = 100;
+
+%% bus data
+%	bus_i	type	Pd	Qd	Gs	Bs	area	Vm	Va	baseKV	zone	Vmax	Vmin
+mpc.bus = [
+	1	3	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	2	2	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	3	2	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	4	1	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	5	1	90	30	0	0	1	1	0	345	1	1.1	0.9;
+	6	1	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	7	1	100	35	0	0	1	1	0	345	1	1.1	0.9;
+	8	1	0	0	0	0	1	1	0	345	1	1.1	0.9;
+	9	1	125	50	0	0	1	1	0	345	1	1.1	0.9;
+];
+
+%% generator data
+%	bus	Pg	Qg	Qmax	Qmin	Vg	mBase	status	Pmax	Pmin
+mpc.gen = [
+	1	72.3	27.03	300	-300	1.04	100	1	250	10	0	0	0	0	0	0	0	0	0	0	0;
+	2	163	6.54	300	-300	1.025	100	1	300	10	0	0	0	0	0	0	0	0	0	0	0;
+	3	85	-10.95	300	-300	1.025	100	1	270	10	0	0	0	0	0	0	0	0	0	0	0;
+];
+
+%% branch data
+%	fbus	tbus	r	x	b	rateA	rateB	rateC	ratio	angle	status	angmin	angmax
+mpc.branch = [
+	1	4	0	0.0576	0	250	250	250	0	0	1	-360	360;
+	4	5	0.017	0.092	0.158	250	250	250	0	0	1	-360	360;
+	5	6	0.039	0.17	0.358	150	150	150	0	0	1	-360	360;
+	3	6	0	0.0586	0	300	300	300	0	0	1	-360	360;
+	6	7	0.0119	0.1008	0.209	150	150	150	0	0	1	-360	360;
+	7	8	0.0085	0.072	0.149	250	250	250	0	0	1	-360	360;
+	8	2	0	0.0625	0	250	250	250	0	0	1	-360	360;
+	8	9	0.032	0.161	0.306	250	250	250	0	0	1	-360	360;
+	9	4	0.01	0.085	0.176	250	250	250	0	0	1	-360	360;
+];
+
+%% generator cost data
+%	2	startup	shutdown	n	c(n-1)	...	c0
+mpc.gencost = [
+	2	1500	0	3	0.11	5	150;
+	2	2000	0	3	0.085	1.2	600;
+	2	3000	0	3	0.1225	1	335;
+];
+"""
+
+
+def _make_case3() -> Network:
+    """A tiny 3-bus case used heavily by unit tests.
+
+    One slack generator, one cheaper remote generator, a single load, and a
+    triangle of lines — small enough that solutions can be reasoned about by
+    hand yet exercising every component type.
+    """
+    buses = [
+        Bus(index=1, bus_type=BusType.REF, pd=0.0, qd=0.0, vmax=1.1, vmin=0.9),
+        Bus(index=2, bus_type=BusType.PV, pd=0.0, qd=0.0, vmax=1.1, vmin=0.9),
+        Bus(index=3, bus_type=BusType.PQ, pd=120.0, qd=40.0, vmax=1.1, vmin=0.9),
+    ]
+    branches = [
+        Branch(from_bus=1, to_bus=2, r=0.01, x=0.06, b=0.03, rate_a=200.0),
+        Branch(from_bus=1, to_bus=3, r=0.02, x=0.09, b=0.02, rate_a=200.0),
+        Branch(from_bus=2, to_bus=3, r=0.015, x=0.08, b=0.025, rate_a=200.0),
+    ]
+    generators = [
+        Generator(bus=1, pg=60.0, qg=0.0, qmax=150.0, qmin=-150.0, pmax=200.0, pmin=10.0),
+        Generator(bus=2, pg=70.0, qg=0.0, qmax=150.0, qmin=-150.0, pmax=150.0, pmin=10.0),
+    ]
+    costs = [
+        GeneratorCost(model=CostModel.POLYNOMIAL, coefficients=(0.02, 20.0, 100.0)),
+        GeneratorCost(model=CostModel.POLYNOMIAL, coefficients=(0.0125, 15.0, 80.0)),
+    ]
+    return Network(name="case3", base_mva=100.0, buses=buses, branches=branches,
+                   generators=generators, costs=costs)
+
+
+def _make_case5() -> Network:
+    """A 5-bus case loosely modelled on the PJM 5-bus system."""
+    buses = [
+        Bus(index=1, bus_type=BusType.PV, pd=0.0, qd=0.0),
+        Bus(index=2, bus_type=BusType.PQ, pd=300.0, qd=98.6),
+        Bus(index=3, bus_type=BusType.PV, pd=300.0, qd=98.6),
+        Bus(index=4, bus_type=BusType.REF, pd=400.0, qd=131.5),
+        Bus(index=5, bus_type=BusType.PV, pd=0.0, qd=0.0),
+    ]
+    branches = [
+        Branch(from_bus=1, to_bus=2, r=0.00281, x=0.0281, b=0.00712, rate_a=400.0),
+        Branch(from_bus=1, to_bus=4, r=0.00304, x=0.0304, b=0.00658, rate_a=400.0),
+        Branch(from_bus=1, to_bus=5, r=0.00064, x=0.0064, b=0.03126, rate_a=400.0),
+        Branch(from_bus=2, to_bus=3, r=0.00108, x=0.0108, b=0.01852, rate_a=400.0),
+        Branch(from_bus=3, to_bus=4, r=0.00297, x=0.0297, b=0.00674, rate_a=400.0),
+        Branch(from_bus=4, to_bus=5, r=0.00297, x=0.0297, b=0.00674, rate_a=240.0),
+    ]
+    generators = [
+        Generator(bus=1, pg=40.0, qmax=30.0, qmin=-30.0, pmax=110.0, pmin=0.0),
+        Generator(bus=1, pg=170.0, qmax=127.5, qmin=-127.5, pmax=250.0, pmin=0.0),
+        Generator(bus=3, pg=323.5, qmax=390.0, qmin=-390.0, pmax=520.0, pmin=0.0),
+        Generator(bus=4, pg=0.0, qmax=150.0, qmin=-150.0, pmax=300.0, pmin=0.0),
+        Generator(bus=5, pg=466.5, qmax=450.0, qmin=-450.0, pmax=600.0, pmin=0.0),
+    ]
+    costs = [
+        GeneratorCost(coefficients=(0.0, 14.0, 0.0)),
+        GeneratorCost(coefficients=(0.0, 15.0, 0.0)),
+        GeneratorCost(coefficients=(0.0, 30.0, 0.0)),
+        GeneratorCost(coefficients=(0.0, 40.0, 0.0)),
+        GeneratorCost(coefficients=(0.0, 10.0, 0.0)),
+    ]
+    return Network(name="case5", base_mva=100.0, buses=buses, branches=branches,
+                   generators=generators, costs=costs)
+
+
+def _make_case9() -> Network:
+    return parse_case_text(CASE9_TEXT, name="case9")
+
+
+# --------------------------------------------------------------------- #
+# Synthetic analogues of the paper's test systems                       #
+# --------------------------------------------------------------------- #
+
+#: (buses, generators, branches) of the paper's Table I systems.
+PAPER_SYSTEM_SIZES = {
+    "1354pegase": (1354, 260, 1991),
+    "2869pegase": (2869, 510, 4582),
+    "9241pegase": (9241, 1445, 16049),
+    "13659pegase": (13659, 4092, 20467),
+    "ACTIVSg25k": (25000, 4834, 32230),
+    "ACTIVSg70k": (70000, 10390, 88207),
+}
+
+
+def _synthetic_factory(n_bus: int, n_gen: int, n_branch: int, style: str,
+                       seed: int, name: str) -> Callable[[], Network]:
+    def factory() -> Network:
+        from repro.grid.synthetic import make_synthetic_grid
+
+        return make_synthetic_grid(n_bus=n_bus, n_gen=n_gen, n_branch=n_branch,
+                                   style=style, seed=seed, name=name)
+
+    return factory
+
+
+_REGISTRY: dict[str, Callable[[], Network]] = {
+    "case3": _make_case3,
+    "case5": _make_case5,
+    "case9": _make_case9,
+    # Scaled-down benchmark analogues (used by default in benchmarks because
+    # a pure-Python substrate cannot turn over tens of thousands of buses in
+    # benchmark time).
+    "pegase30_like": _synthetic_factory(30, 6, 41, "pegase", 30, "pegase30_like"),
+    "pegase118_like": _synthetic_factory(118, 19, 186, "pegase", 118, "pegase118_like"),
+    "pegase300_like": _synthetic_factory(300, 57, 411, "pegase", 300, "pegase300_like"),
+    "activsg200_like": _synthetic_factory(200, 38, 245, "activsg", 200, "activsg200_like"),
+    "activsg500_like": _synthetic_factory(500, 90, 600, "activsg", 500, "activsg500_like"),
+}
+
+# Full-size synthetic analogues of every Table I system (same bus / generator /
+# branch counts as the paper).  Generating them is fast; solving them with the
+# pure-Python substrate is intended for scaling studies, not CI.
+for _paper_name, (_nb, _ng, _nl) in PAPER_SYSTEM_SIZES.items():
+    _style = "activsg" if _paper_name.startswith("ACTIVSg") else "pegase"
+    _REGISTRY[f"{_paper_name}_like"] = _synthetic_factory(
+        _nb, _ng, _nl, _style, _nb, f"{_paper_name}_like")
+
+
+def available_cases() -> list[str]:
+    """Names accepted by :func:`load_case` (excluding file paths)."""
+    return sorted(_REGISTRY)
+
+
+def register_case(name: str, factory: Callable[[], Network]) -> None:
+    """Register a custom case factory under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def load_case(name: str | Path) -> Network:
+    """Load a case by registry name or MATPOWER file path."""
+    key = str(name)
+    if key in _REGISTRY:
+        return _REGISTRY[key]()
+    path = Path(key)
+    if path.suffix == ".m" or path.exists():
+        return read_case(path)
+    raise CaseNotFoundError(
+        f"unknown case {name!r}; available: {', '.join(available_cases())} "
+        "or a path to a MATPOWER .m file")

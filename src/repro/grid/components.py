@@ -1,0 +1,209 @@
+"""Plain-data records describing grid components.
+
+The records deliberately mirror the MATPOWER column conventions (power in MW
+/ MVAr, voltages in per unit, impedances in per unit on the system MVA base)
+because that is the interchange format used by the paper's test cases.  The
+:class:`~repro.grid.network.Network` container converts everything to a
+consistent per-unit structure-of-arrays representation for the solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Sequence
+
+
+class BusType(IntEnum):
+    """MATPOWER bus types."""
+
+    PQ = 1
+    PV = 2
+    REF = 3
+    ISOLATED = 4
+
+
+class CostModel(IntEnum):
+    """MATPOWER generator cost model identifiers."""
+
+    PIECEWISE_LINEAR = 1
+    POLYNOMIAL = 2
+
+
+@dataclass
+class Bus:
+    """A single bus (node) of the grid.
+
+    Attributes
+    ----------
+    index:
+        External bus number as found in the case file (1-based, arbitrary).
+    bus_type:
+        PQ / PV / REF / ISOLATED.
+    pd, qd:
+        Real (MW) and reactive (MVAr) demand.
+    gs, bs:
+        Shunt conductance / susceptance (MW / MVAr consumed at V = 1 pu).
+    vm, va:
+        Initial voltage magnitude (pu) and angle (degrees).
+    base_kv:
+        Voltage base of the bus in kV.
+    vmax, vmin:
+        Voltage magnitude limits in pu.
+    area, zone:
+        Area and loss-zone numbers (kept for round-tripping case files).
+    """
+
+    index: int
+    bus_type: BusType = BusType.PQ
+    pd: float = 0.0
+    qd: float = 0.0
+    gs: float = 0.0
+    bs: float = 0.0
+    vm: float = 1.0
+    va: float = 0.0
+    base_kv: float = 345.0
+    vmax: float = 1.1
+    vmin: float = 0.9
+    area: int = 1
+    zone: int = 1
+
+    def __post_init__(self) -> None:
+        self.bus_type = BusType(int(self.bus_type))
+
+
+@dataclass
+class Generator:
+    """A generator (or dispatchable injection) attached to a bus.
+
+    Attributes follow MATPOWER's ``gen`` matrix: power limits in MW / MVAr,
+    ``vg`` is the voltage set point, ``mbase`` the machine MVA base, and
+    ``status`` a 0/1 in-service flag.  ``ramp_rate`` (MW per period) is used
+    by the multi-period tracking driver; MATPOWER's RAMP_30 column is mapped
+    onto it when present.
+    """
+
+    bus: int
+    pg: float = 0.0
+    qg: float = 0.0
+    qmax: float = 9999.0
+    qmin: float = -9999.0
+    vg: float = 1.0
+    mbase: float = 100.0
+    status: int = 1
+    pmax: float = 9999.0
+    pmin: float = 0.0
+    ramp_rate: float = 0.0
+
+    @property
+    def in_service(self) -> bool:
+        return self.status > 0
+
+
+@dataclass
+class GeneratorCost:
+    """Cost curve of one generator.
+
+    Only polynomial cost models are used by the solvers (the paper's cases
+    all use quadratic costs); piecewise-linear curves are converted to a
+    least-squares quadratic fit by :meth:`as_quadratic`.
+
+    Attributes
+    ----------
+    model:
+        Cost model type.
+    startup, shutdown:
+        Startup / shutdown costs (kept for file round-tripping).
+    coefficients:
+        Polynomial coefficients ``c_n, ..., c_1, c_0`` in MATPOWER order
+        (highest degree first, cost in $/h for power in MW), or the
+        flattened ``(x0, y0, x1, y1, ...)`` breakpoints for piecewise-linear
+        curves.
+    """
+
+    model: CostModel = CostModel.POLYNOMIAL
+    startup: float = 0.0
+    shutdown: float = 0.0
+    coefficients: Sequence[float] = field(default_factory=lambda: (0.0, 0.0, 0.0))
+
+    def __post_init__(self) -> None:
+        self.model = CostModel(int(self.model))
+        self.coefficients = tuple(float(c) for c in self.coefficients)
+
+    def as_quadratic(self) -> tuple[float, float, float]:
+        """Return (c2, c1, c0) such that cost(p_MW) ~ c2 p^2 + c1 p + c0.
+
+        Polynomial curves of degree <= 2 are returned exactly; higher-degree
+        polynomials are truncated to their quadratic, linear, and constant
+        terms (degrees above 2 are rare in practice and never appear in the
+        paper's cases).  Piecewise-linear curves are fitted in the
+        least-squares sense through their breakpoints.
+        """
+        if self.model == CostModel.POLYNOMIAL:
+            coeffs = list(self.coefficients)
+            # MATPOWER order: highest degree first.
+            while len(coeffs) < 3:
+                coeffs.insert(0, 0.0)
+            c0 = coeffs[-1]
+            c1 = coeffs[-2]
+            c2 = coeffs[-3]
+            return float(c2), float(c1), float(c0)
+        # Piecewise linear: breakpoints (x0, y0, x1, y1, ...).
+        xs = list(self.coefficients[0::2])
+        ys = list(self.coefficients[1::2])
+        if len(xs) < 2:
+            return 0.0, 0.0, (ys[0] if ys else 0.0)
+        import numpy as np
+
+        a = np.vstack([np.square(xs), xs, np.ones(len(xs))]).T
+        sol, *_ = np.linalg.lstsq(a, np.asarray(ys, dtype=float), rcond=None)
+        return float(sol[0]), float(sol[1]), float(sol[2])
+
+
+@dataclass
+class Branch:
+    """A transmission line or transformer between two buses.
+
+    Attributes
+    ----------
+    from_bus, to_bus:
+        External bus numbers of the two terminals.
+    r, x:
+        Series resistance / reactance in pu.
+    b:
+        Total line charging susceptance in pu.
+    rate_a:
+        Long-term MVA rating; 0 means unlimited (MATPOWER convention).
+    tap:
+        Transformer off-nominal turns ratio magnitude; 0 means a ratio of 1.
+    shift:
+        Phase-shift angle in degrees.
+    status:
+        0/1 in-service flag.
+    angmin, angmax:
+        Angle-difference limits in degrees (the paper disables the
+        automatically tightened variants, so these are informational).
+    """
+
+    from_bus: int
+    to_bus: int
+    r: float = 0.0
+    x: float = 0.01
+    b: float = 0.0
+    rate_a: float = 0.0
+    rate_b: float = 0.0
+    rate_c: float = 0.0
+    tap: float = 0.0
+    shift: float = 0.0
+    status: int = 1
+    angmin: float = -360.0
+    angmax: float = 360.0
+
+    @property
+    def in_service(self) -> bool:
+        return self.status > 0
+
+    @property
+    def turns_ratio(self) -> float:
+        """Effective turns-ratio magnitude (MATPOWER treats 0 as 1)."""
+        return self.tap if self.tap not in (0, 0.0) else 1.0

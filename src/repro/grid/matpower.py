@@ -1,0 +1,208 @@
+"""MATPOWER ``.m`` case file parsing and writing.
+
+The paper's test cases (1354pegase ... ACTIVSg70k) are distributed as
+MATPOWER case files.  This module implements enough of the MATPOWER format
+to round-trip those files: the ``baseMVA`` scalar and the ``bus``, ``gen``,
+``branch``, and ``gencost`` matrices of case format version 2.  MATLAB
+expressions other than numeric literals inside the matrices are not
+supported (none of the standard cases use them).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.grid.components import Branch, Bus, BusType, CostModel, Generator, GeneratorCost
+from repro.grid.network import Network
+
+# Column order of MATPOWER case format version 2.
+BUS_COLUMNS = ("bus_i", "type", "Pd", "Qd", "Gs", "Bs", "area", "Vm", "Va",
+               "baseKV", "zone", "Vmax", "Vmin")
+GEN_COLUMNS = ("bus", "Pg", "Qg", "Qmax", "Qmin", "Vg", "mBase", "status",
+               "Pmax", "Pmin", "Pc1", "Pc2", "Qc1min", "Qc1max", "Qc2min",
+               "Qc2max", "ramp_agc", "ramp_10", "ramp_30", "ramp_q", "apf")
+BRANCH_COLUMNS = ("fbus", "tbus", "r", "x", "b", "rateA", "rateB", "rateC",
+                  "ratio", "angle", "status", "angmin", "angmax")
+
+_MATRIX_RE = re.compile(
+    r"mpc\.(?P<name>\w+)\s*=\s*\[(?P<body>.*?)\];", re.DOTALL)
+_SCALAR_RE = re.compile(
+    r"mpc\.(?P<name>\w+)\s*=\s*(?P<value>[-+0-9.eE]+)\s*;")
+
+
+def _strip_comments(text: str) -> str:
+    """Remove MATLAB ``%`` comments (outside of strings, which we ignore)."""
+    lines = []
+    for line in text.splitlines():
+        idx = line.find("%")
+        if idx >= 0:
+            line = line[:idx]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _parse_matrix(body: str) -> np.ndarray:
+    """Parse the body of a MATLAB matrix literal into a 2-D float array."""
+    rows: list[list[float]] = []
+    # Rows are separated by ';' or newlines; values by whitespace or commas.
+    for raw_row in re.split(r"[;\n]", body):
+        raw_row = raw_row.strip()
+        if not raw_row:
+            continue
+        values = [float(tok) for tok in re.split(r"[\s,]+", raw_row) if tok]
+        if values:
+            rows.append(values)
+    if not rows:
+        return np.zeros((0, 0))
+    width = max(len(r) for r in rows)
+    out = np.zeros((len(rows), width))
+    for i, row in enumerate(rows):
+        out[i, :len(row)] = row
+    return out
+
+
+def parse_case_text(text: str, name: str = "case") -> Network:
+    """Parse the text of a MATPOWER case file into a :class:`Network`."""
+    text = _strip_comments(text)
+    matrices: dict[str, np.ndarray] = {}
+    for match in _MATRIX_RE.finditer(text):
+        matrices[match.group("name")] = _parse_matrix(match.group("body"))
+    scalars: dict[str, float] = {}
+    for match in _SCALAR_RE.finditer(text):
+        scalars[match.group("name")] = float(match.group("value"))
+
+    if "bus" not in matrices or "gen" not in matrices or "branch" not in matrices:
+        raise DataError("case file is missing one of the bus/gen/branch matrices")
+    base_mva = scalars.get("baseMVA", 100.0)
+
+    buses = [_bus_from_row(row) for row in matrices["bus"]]
+    generators = [_gen_from_row(row) for row in matrices["gen"]]
+    branches = [_branch_from_row(row) for row in matrices["branch"]]
+    if "gencost" in matrices and matrices["gencost"].size:
+        costs = [_cost_from_row(row) for row in matrices["gencost"]]
+        # MATPOWER allows 2*ng rows (reactive costs appended); keep the first ng.
+        costs = costs[:len(generators)]
+        while len(costs) < len(generators):
+            costs.append(GeneratorCost())
+    else:
+        costs = [GeneratorCost() for _ in generators]
+
+    return Network(name=name, base_mva=base_mva, buses=buses,
+                   branches=branches, generators=generators, costs=costs)
+
+
+def read_case(path: str | Path) -> Network:
+    """Read a MATPOWER ``.m`` case file from disk."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"case file {path} does not exist")
+    return parse_case_text(path.read_text(), name=path.stem)
+
+
+def _bus_from_row(row: Sequence[float]) -> Bus:
+    row = list(row) + [0.0] * (13 - len(row))
+    return Bus(index=int(row[0]), bus_type=BusType(int(row[1])), pd=row[2], qd=row[3],
+               gs=row[4], bs=row[5], area=int(row[6]), vm=row[7] or 1.0, va=row[8],
+               base_kv=row[9] or 345.0, zone=int(row[10]) if row[10] else 1,
+               vmax=row[11] or 1.1, vmin=row[12] or 0.9)
+
+
+def _gen_from_row(row: Sequence[float]) -> Generator:
+    row = list(row) + [0.0] * (21 - len(row))
+    return Generator(bus=int(row[0]), pg=row[1], qg=row[2], qmax=row[3], qmin=row[4],
+                     vg=row[5] or 1.0, mbase=row[6] or 100.0, status=int(row[7]),
+                     pmax=row[8], pmin=row[9], ramp_rate=row[18])
+
+
+def _branch_from_row(row: Sequence[float]) -> Branch:
+    row = list(row) + [0.0] * (13 - len(row))
+    status = int(row[10]) if len(row) > 10 else 1
+    return Branch(from_bus=int(row[0]), to_bus=int(row[1]), r=row[2], x=row[3], b=row[4],
+                  rate_a=row[5], rate_b=row[6], rate_c=row[7], tap=row[8], shift=row[9],
+                  status=status, angmin=row[11] if row[11] else -360.0,
+                  angmax=row[12] if row[12] else 360.0)
+
+
+def _cost_from_row(row: Sequence[float]) -> GeneratorCost:
+    row = list(row)
+    model = CostModel(int(row[0]))
+    startup, shutdown = row[1], row[2]
+    n = int(row[3])
+    coeffs = row[4:4 + (2 * n if model == CostModel.PIECEWISE_LINEAR else n)]
+    return GeneratorCost(model=model, startup=startup, shutdown=shutdown,
+                         coefficients=coeffs)
+
+
+# ---------------------------------------------------------------------- #
+# Writing                                                                #
+# ---------------------------------------------------------------------- #
+def _format_matrix(rows: list[list[float]]) -> str:
+    lines = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if float(value).is_integer() and abs(value) < 1e15:
+                cells.append(f"{int(value)}")
+            else:
+                cells.append(f"{value:.9g}")
+        lines.append("\t" + "\t".join(cells) + ";")
+    return "\n".join(lines)
+
+
+def case_to_text(network: Network, function_name: str | None = None) -> str:
+    """Render a :class:`Network` as MATPOWER case file text."""
+    function_name = function_name or re.sub(r"\W", "_", network.name) or "case"
+    bus_rows = [[b.index, int(b.bus_type), b.pd, b.qd, b.gs, b.bs, b.area, b.vm, b.va,
+                 b.base_kv, b.zone, b.vmax, b.vmin] for b in network.buses]
+    gen_rows = [[g.bus, g.pg, g.qg, g.qmax, g.qmin, g.vg, g.mbase, g.status, g.pmax,
+                 g.pmin, 0, 0, 0, 0, 0, 0, 0, 0, g.ramp_rate, 0, 0]
+                for g in network.generators]
+    branch_rows = [[br.from_bus, br.to_bus, br.r, br.x, br.b, br.rate_a, br.rate_b,
+                    br.rate_c, br.tap, br.shift, br.status, br.angmin, br.angmax]
+                   for br in network.branches]
+    cost_rows = []
+    for cost in network.costs:
+        coeffs = list(cost.coefficients)
+        n = len(coeffs) // 2 if cost.model == CostModel.PIECEWISE_LINEAR else len(coeffs)
+        cost_rows.append([int(cost.model), cost.startup, cost.shutdown, n, *coeffs])
+
+    parts = [
+        f"function mpc = {function_name}",
+        "%% MATPOWER case generated by the repro package",
+        "mpc.version = '2';",
+        f"mpc.baseMVA = {network.base_mva:g};",
+        "",
+        "%% bus data",
+        "mpc.bus = [",
+        _format_matrix(bus_rows),
+        "];",
+        "",
+        "%% generator data",
+        "mpc.gen = [",
+        _format_matrix(gen_rows),
+        "];",
+        "",
+        "%% branch data",
+        "mpc.branch = [",
+        _format_matrix(branch_rows),
+        "];",
+        "",
+        "%% generator cost data",
+        "mpc.gencost = [",
+        _format_matrix(cost_rows),
+        "];",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def write_case(network: Network, path: str | Path) -> Path:
+    """Write a network to disk as a MATPOWER ``.m`` file and return the path."""
+    path = Path(path)
+    path.write_text(case_to_text(network, function_name=path.stem))
+    return path

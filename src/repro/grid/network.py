@@ -1,0 +1,268 @@
+"""The :class:`Network` container.
+
+A :class:`Network` owns the component records of one grid and exposes the
+consistent, zero-based, per-unit structure-of-arrays view that every solver
+in this repository consumes.  The array attributes are plain NumPy arrays so
+that solvers can vectorise over components — the central idiom of the paper's
+GPU implementation and of this reproduction.
+
+Branch admittance coefficients follow the paper's formulation (1):
+
+``(y_s + j b/2) / |a|^2      = g_ii + j b_ii``   (from-side self term)
+``(-y_s) / conj(a)           = g_ij + j b_ij``   (from-to transfer term)
+``(-y_s) / a                 = g_ji + j b_ji``   (to-from transfer term)
+``(y_s + j b/2)              = g_jj + j b_jj``   (to-side self term)
+
+with ``y_s = 1 / (r + j x)`` the series admittance, ``b`` the total line
+charging susceptance, and ``a = tap * exp(j shift)`` the complex turns ratio.
+These are exactly MATPOWER's ``Yff``, ``Yft``, ``Ytf``, ``Ytt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.grid.components import Branch, Bus, BusType, Generator, GeneratorCost
+
+
+@dataclass
+class Network:
+    """An AC power network in a solver-ready form.
+
+    Build instances through :meth:`from_components`, :func:`repro.load_case`,
+    or :func:`repro.grid.synthetic.make_synthetic_grid`; the raw constructor
+    expects already-consistent component lists.
+    """
+
+    name: str
+    base_mva: float
+    buses: list[Bus]
+    branches: list[Branch]
+    generators: list[Generator]
+    costs: list[GeneratorCost]
+
+    # ------------------------------------------------------------------ #
+    # Derived arrays (filled by ``_build_arrays``)                        #
+    # ------------------------------------------------------------------ #
+    bus_index_map: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._validate_components()
+        self._build_arrays()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers                                                #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_components(
+        cls,
+        name: str,
+        base_mva: float,
+        buses: Iterable[Bus],
+        branches: Iterable[Branch],
+        generators: Iterable[Generator],
+        costs: Iterable[GeneratorCost] | None = None,
+    ) -> "Network":
+        """Create a network, synthesising zero-cost curves if none are given."""
+        buses = list(buses)
+        branches = list(branches)
+        generators = list(generators)
+        if costs is None:
+            costs = [GeneratorCost() for _ in generators]
+        else:
+            costs = list(costs)
+        return cls(name=name, base_mva=float(base_mva), buses=buses,
+                   branches=branches, generators=generators, costs=costs)
+
+    def _validate_components(self) -> None:
+        if not self.buses:
+            raise DataError("a network must contain at least one bus")
+        if self.base_mva <= 0:
+            raise DataError(f"base MVA must be positive, got {self.base_mva}")
+        if len(self.costs) != len(self.generators):
+            raise DataError(
+                f"{len(self.generators)} generators but {len(self.costs)} cost curves")
+        seen: set[int] = set()
+        for bus in self.buses:
+            if bus.index in seen:
+                raise DataError(f"duplicate bus number {bus.index}")
+            seen.add(bus.index)
+        for branch in self.branches:
+            if branch.from_bus not in seen or branch.to_bus not in seen:
+                raise DataError(
+                    f"branch {branch.from_bus}-{branch.to_bus} references an unknown bus")
+            if branch.from_bus == branch.to_bus:
+                raise DataError(f"branch at bus {branch.from_bus} connects a bus to itself")
+            if branch.in_service and branch.r == 0.0 and branch.x == 0.0:
+                raise DataError(
+                    f"branch {branch.from_bus}-{branch.to_bus} has zero series impedance")
+        for gen in self.generators:
+            if gen.bus not in seen:
+                raise DataError(f"generator references unknown bus {gen.bus}")
+        ref_buses = [b for b in self.buses if b.bus_type == BusType.REF]
+        if not ref_buses:
+            raise DataError("network has no reference (slack) bus")
+
+    # ------------------------------------------------------------------ #
+    # Array views                                                         #
+    # ------------------------------------------------------------------ #
+    def _build_arrays(self) -> None:
+        base = self.base_mva
+        self.bus_index_map = {bus.index: i for i, bus in enumerate(self.buses)}
+
+        # --- buses -----------------------------------------------------
+        nb = len(self.buses)
+        self.bus_pd = np.array([b.pd for b in self.buses]) / base
+        self.bus_qd = np.array([b.qd for b in self.buses]) / base
+        self.bus_gs = np.array([b.gs for b in self.buses]) / base
+        self.bus_bs = np.array([b.bs for b in self.buses]) / base
+        self.bus_vmax = np.array([b.vmax for b in self.buses], dtype=float)
+        self.bus_vmin = np.array([b.vmin for b in self.buses], dtype=float)
+        self.bus_vm0 = np.array([b.vm for b in self.buses], dtype=float)
+        self.bus_va0 = np.deg2rad([b.va for b in self.buses])
+        self.bus_type = np.array([int(b.bus_type) for b in self.buses], dtype=int)
+        ref_candidates = np.flatnonzero(self.bus_type == int(BusType.REF))
+        self.ref_bus = int(ref_candidates[0])
+
+        # --- generators (in-service only participate in dispatch) -------
+        in_service = [g.status > 0 for g in self.generators]
+        self.gen_status = np.array(in_service, dtype=bool)
+        self.gen_bus = np.array(
+            [self.bus_index_map[g.bus] for g in self.generators], dtype=int)
+        self.gen_pmin = np.array([g.pmin for g in self.generators]) / base
+        self.gen_pmax = np.array([g.pmax for g in self.generators]) / base
+        self.gen_qmin = np.array([g.qmin for g in self.generators]) / base
+        self.gen_qmax = np.array([g.qmax for g in self.generators]) / base
+        self.gen_pg0 = np.array([g.pg for g in self.generators]) / base
+        self.gen_qg0 = np.array([g.qg for g in self.generators]) / base
+        self.gen_ramp = np.array([g.ramp_rate for g in self.generators]) / base
+        # Cost in per-unit power: cost(p_pu) = c2 p^2 + c1 p + c0 with p in pu.
+        quad = np.array([c.as_quadratic() for c in self.costs], dtype=float)
+        if quad.size == 0:
+            quad = np.zeros((0, 3))
+        self.gen_cost_c2 = quad[:, 0] * base * base
+        self.gen_cost_c1 = quad[:, 1] * base
+        self.gen_cost_c0 = quad[:, 2].copy()
+        # Out-of-service generators are pinned to zero output so that the
+        # solvers can keep a dense generator axis.
+        off = ~self.gen_status
+        for arr in (self.gen_pmin, self.gen_pmax, self.gen_qmin, self.gen_qmax,
+                    self.gen_pg0, self.gen_qg0):
+            arr[off] = 0.0
+        self.gen_cost_c2[off] = 0.0
+        self.gen_cost_c1[off] = 0.0
+        self.gen_cost_c0[off] = 0.0
+
+        # --- branches ----------------------------------------------------
+        live = [br for br in self.branches if br.in_service]
+        self.live_branches = live
+        nl = len(live)
+        self.branch_from = np.array(
+            [self.bus_index_map[br.from_bus] for br in live], dtype=int)
+        self.branch_to = np.array(
+            [self.bus_index_map[br.to_bus] for br in live], dtype=int)
+        r = np.array([br.r for br in live], dtype=float)
+        x = np.array([br.x for br in live], dtype=float)
+        btot = np.array([br.b for br in live], dtype=float)
+        tap = np.array([br.turns_ratio for br in live], dtype=float)
+        shift = np.deg2rad([br.shift for br in live])
+        ys = 1.0 / (r + 1j * x)
+        a = tap * np.exp(1j * shift)
+        ytt = ys + 0.5j * btot
+        yff = ytt / (tap * tap)
+        yft = -ys / np.conj(a)
+        ytf = -ys / a
+        self.branch_g_ii = yff.real.copy()
+        self.branch_b_ii = yff.imag.copy()
+        self.branch_g_ij = yft.real.copy()
+        self.branch_b_ij = yft.imag.copy()
+        self.branch_g_ji = ytf.real.copy()
+        self.branch_b_ji = ytf.imag.copy()
+        self.branch_g_jj = ytt.real.copy()
+        self.branch_b_jj = ytt.imag.copy()
+        # MATPOWER convention: a 0 rating means "unlimited".
+        rate = np.array([br.rate_a for br in live], dtype=float) / base
+        self.branch_rate_a = rate
+        self.branch_has_limit = rate > 0.0
+        self.branch_angmin = np.deg2rad([br.angmin for br in live])
+        self.branch_angmax = np.deg2rad([br.angmax for br in live])
+
+        # --- adjacency ---------------------------------------------------
+        self.gens_at_bus: list[list[int]] = [[] for _ in range(nb)]
+        for g, bus_idx in enumerate(self.gen_bus):
+            if self.gen_status[g]:
+                self.gens_at_bus[bus_idx].append(g)
+        # Incident branch ends per bus: (branch index, 0 for from-side / 1 for to-side)
+        self.lines_at_bus: list[list[tuple[int, int]]] = [[] for _ in range(nb)]
+        for ell in range(nl):
+            self.lines_at_bus[self.branch_from[ell]].append((ell, 0))
+            self.lines_at_bus[self.branch_to[ell]].append((ell, 1))
+
+    # ------------------------------------------------------------------ #
+    # Simple accessors                                                    #
+    # ------------------------------------------------------------------ #
+    @property
+    def n_bus(self) -> int:
+        return len(self.buses)
+
+    @property
+    def n_branch(self) -> int:
+        """Number of in-service branches (the solver-facing count)."""
+        return len(self.branch_from)
+
+    @property
+    def n_gen(self) -> int:
+        return len(self.generators)
+
+    @property
+    def n_gen_active(self) -> int:
+        return int(self.gen_status.sum())
+
+    def total_load(self) -> tuple[float, float]:
+        """Total (P, Q) demand in per unit."""
+        return float(self.bus_pd.sum()), float(self.bus_qd.sum())
+
+    def generation_cost(self, pg: np.ndarray) -> float:
+        """Total generation cost ($/h) for per-unit dispatch ``pg``."""
+        pg = np.asarray(pg, dtype=float)
+        return float(np.sum(self.gen_cost_c2 * pg * pg
+                            + self.gen_cost_c1 * pg + self.gen_cost_c0))
+
+    def with_scaled_loads(self, factor: float | np.ndarray,
+                          name: str | None = None) -> "Network":
+        """Return a copy of the network with all loads scaled by ``factor``.
+
+        ``factor`` may be a scalar or a per-bus array; generation limits and
+        everything else are untouched.  Used by the multi-period tracking
+        driver to follow a demand profile.
+        """
+        factor = np.asarray(factor, dtype=float)
+        if factor.ndim not in (0, 1):
+            raise DataError("load scaling factor must be a scalar or a per-bus vector")
+        if factor.ndim == 1 and factor.shape[0] != self.n_bus:
+            raise DataError(
+                f"per-bus scaling vector has length {factor.shape[0]}, expected {self.n_bus}")
+        scale = np.broadcast_to(factor, (self.n_bus,))
+        new_buses = []
+        for i, bus in enumerate(self.buses):
+            new_buses.append(Bus(index=bus.index, bus_type=bus.bus_type,
+                                 pd=bus.pd * scale[i], qd=bus.qd * scale[i],
+                                 gs=bus.gs, bs=bus.bs, vm=bus.vm, va=bus.va,
+                                 base_kv=bus.base_kv, vmax=bus.vmax, vmin=bus.vmin,
+                                 area=bus.area, zone=bus.zone))
+        return Network(name=name or self.name, base_mva=self.base_mva,
+                       buses=new_buses, branches=list(self.branches),
+                       generators=list(self.generators), costs=list(self.costs))
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by Table I reporting)."""
+        return (f"{self.name}: {self.n_gen_active} generators, "
+                f"{self.n_branch} branches, {self.n_bus} buses")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Network(name={self.name!r}, buses={self.n_bus}, "
+                f"branches={self.n_branch}, generators={self.n_gen})")

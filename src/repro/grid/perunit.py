@@ -1,0 +1,61 @@
+"""Per-unit conversion helpers.
+
+The :class:`~repro.grid.network.Network` container already stores all solver
+facing quantities in per unit; these helpers exist for users converting
+results back to engineering units and for tests asserting round-trip
+consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+ArrayLike = "np.ndarray | float"
+
+
+def mw_to_pu(power_mw, base_mva: float):
+    """Convert MW (or MVAr) to per unit on ``base_mva``."""
+    if base_mva <= 0:
+        raise ValueError(f"base MVA must be positive, got {base_mva}")
+    return np.asarray(power_mw, dtype=float) / base_mva
+
+
+def pu_to_mw(power_pu, base_mva: float):
+    """Convert per-unit power to MW (or MVAr) on ``base_mva``."""
+    if base_mva <= 0:
+        raise ValueError(f"base MVA must be positive, got {base_mva}")
+    return np.asarray(power_pu, dtype=float) * base_mva
+
+
+def impedance_to_pu(ohms, base_kv: float, base_mva: float):
+    """Convert an impedance in ohms to per unit."""
+    z_base = base_kv * base_kv / base_mva
+    return np.asarray(ohms, dtype=float) / z_base
+
+
+def impedance_from_pu(z_pu, base_kv: float, base_mva: float):
+    """Convert a per-unit impedance back to ohms."""
+    z_base = base_kv * base_kv / base_mva
+    return np.asarray(z_pu, dtype=float) * z_base
+
+
+def degrees_to_radians(angle_deg):
+    """Degrees to radians (thin wrapper kept for symmetry)."""
+    return np.deg2rad(angle_deg)
+
+
+def radians_to_degrees(angle_rad):
+    """Radians to degrees (thin wrapper kept for symmetry)."""
+    return np.rad2deg(angle_rad)
+
+
+def cost_coefficients_to_pu(c2_mw: float, c1_mw: float, c0: float,
+                            base_mva: float) -> tuple[float, float, float]:
+    """Convert quadratic cost coefficients from MW-based to per-unit-based."""
+    return c2_mw * base_mva * base_mva, c1_mw * base_mva, c0
+
+
+def cost_coefficients_from_pu(c2_pu: float, c1_pu: float, c0: float,
+                              base_mva: float) -> tuple[float, float, float]:
+    """Convert quadratic cost coefficients from per-unit-based to MW-based."""
+    return c2_pu / (base_mva * base_mva), c1_pu / base_mva, c0

@@ -1,0 +1,107 @@
+"""Structural validation of networks beyond the constructor's basic checks.
+
+These checks are deliberately separate from :class:`~repro.grid.network.Network`
+construction: synthetic-case generation and file parsing want to build first
+and diagnose afterwards, and some checks (connectivity, dispatchability) are
+heuristics a user may legitimately want to skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.network import Network
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_network`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"errors: {len(self.errors)}", *self.errors,
+                 f"warnings: {len(self.warnings)}", *self.warnings]
+        return "\n".join(lines)
+
+
+def connected_components(network: Network) -> list[set[int]]:
+    """Return the connected components of the network graph (bus indices)."""
+    n = network.n_bus
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for f, t in zip(network.branch_from, network.branch_to):
+        adjacency[f].append(int(t))
+        adjacency[t].append(int(f))
+    seen = np.zeros(n, dtype=bool)
+    components: list[set[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = {start}
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    comp.add(nxt)
+                    stack.append(nxt)
+        components.append(comp)
+    return components
+
+
+def validate_network(network: Network) -> ValidationReport:
+    """Run structural sanity checks and return a report.
+
+    Checks performed:
+
+    * the grid graph is connected (one electrical island);
+    * total generation capacity covers total load with some margin;
+    * voltage bounds are ordered and positive;
+    * generator bounds are ordered;
+    * the reference bus hosts at least one generator.
+    """
+    report = ValidationReport()
+
+    components = connected_components(network)
+    if len(components) > 1:
+        sizes = sorted((len(c) for c in components), reverse=True)
+        report.errors.append(
+            f"network has {len(components)} electrical islands (sizes {sizes})")
+
+    total_pd, _ = network.total_load()
+    capacity = float(network.gen_pmax[network.gen_status].sum())
+    if capacity < total_pd:
+        report.errors.append(
+            f"total generation capacity {capacity:.3f} pu below total load {total_pd:.3f} pu")
+    elif capacity < 1.05 * total_pd:
+        report.warnings.append(
+            f"generation capacity margin below 5% (capacity {capacity:.3f} pu, "
+            f"load {total_pd:.3f} pu)")
+
+    if np.any(network.bus_vmin <= 0):
+        report.errors.append("some buses have non-positive lower voltage bounds")
+    if np.any(network.bus_vmin > network.bus_vmax):
+        report.errors.append("some buses have vmin > vmax")
+
+    if np.any(network.gen_pmin > network.gen_pmax):
+        report.errors.append("some generators have pmin > pmax")
+    if np.any(network.gen_qmin > network.gen_qmax):
+        report.errors.append("some generators have qmin > qmax")
+
+    if not network.gens_at_bus[network.ref_bus]:
+        report.warnings.append("reference bus has no generator attached")
+
+    limited = network.branch_rate_a[network.branch_has_limit]
+    if limited.size and np.any(limited < 1e-4):
+        report.warnings.append("some branch ratings are suspiciously small (< 1e-4 pu)")
+
+    return report

@@ -1,0 +1,59 @@
+"""Logging helpers shared across solvers.
+
+Solvers in this package log per-iteration progress through the standard
+:mod:`logging` module under the ``"repro"`` logger namespace so that library
+users can control verbosity the usual way.  The helpers here add a small
+amount of convenience: a package-level logger factory and a fixed-width
+iteration-table formatter used by both the ADMM solver and the interior-point
+baseline.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Iterable, Sequence
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger below the package namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional dotted suffix, e.g. ``"admm"`` gives the ``"repro.admm"``
+        logger.  ``None`` returns the package root logger.
+    """
+    if name:
+        return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+    return logging.getLogger(_PACKAGE_LOGGER_NAME)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the package logger (idempotent).
+
+    Intended for scripts and examples; library code should not call this.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+
+
+def format_table_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """Format one row of an iteration table with fixed column widths."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.3e}")
+        else:
+            cells.append(f"{value!s:>{width}}")
+    return "  ".join(cells)
+
+
+def format_table_header(names: Iterable[str], widths: Sequence[int]) -> str:
+    """Format the header row matching :func:`format_table_row`."""
+    return "  ".join(f"{name:>{width}}" for name, width in zip(names, widths))

@@ -1,0 +1,21 @@
+"""Simulated GPU execution layer.
+
+The paper runs every ADMM update as a CUDA kernel: closed-form updates launch
+one thread per array element, branch subproblems launch one thread block per
+branch (ExaTron).  Without a GPU, this package keeps the same *structure* —
+each update is an explicitly named "kernel" operating on contiguous arrays
+with no cross-component data dependencies — and executes it with vectorised
+NumPy.  The :class:`~repro.parallel.device.SimulatedDevice` records per-kernel
+wall-clock time so benchmarks can report the breakdown the paper discusses
+(closed-form component updates vs. batched branch solves).
+"""
+
+from repro.parallel.device import KernelRecord, SimulatedDevice
+from repro.parallel.kernels import elementwise_kernel, launch_over_elements
+
+__all__ = [
+    "KernelRecord",
+    "SimulatedDevice",
+    "elementwise_kernel",
+    "launch_over_elements",
+]

@@ -1,0 +1,67 @@
+"""Element-wise kernel helpers.
+
+These helpers make the "one thread per element" structure of the paper's
+closed-form updates explicit: an element-wise kernel is a function of aligned
+arrays returning aligned arrays, with no reduction or cross-element
+dependency, so it could be launched verbatim as a CUDA kernel.  The default
+execution is vectorised NumPy; a ``python_loop`` mode exists purely so tests
+can verify that the vectorised kernels really are element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+
+def elementwise_kernel(fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
+    """Mark ``fn`` as an element-wise kernel (documentation decorator).
+
+    The decorator performs no wrapping; it records intent and gives tests a
+    registry-free way (``fn.__elementwise__``) to identify kernels.
+    """
+    fn.__elementwise__ = True  # type: ignore[attr-defined]
+    return fn
+
+
+def launch_over_elements(fn: Callable[..., tuple | np.ndarray], *arrays: np.ndarray,
+                         python_loop: bool = False) -> tuple | np.ndarray:
+    """Execute an element-wise kernel over aligned 1-D arrays.
+
+    With ``python_loop=False`` (the default) the kernel is called once on the
+    full arrays — the vectorised execution used everywhere in production.
+    With ``python_loop=True`` it is called once per element and the results
+    are reassembled; tests use this to prove element independence.
+    """
+    if not arrays:
+        raise DimensionError("launch_over_elements needs at least one array argument")
+    length = arrays[0].shape[0]
+    for arr in arrays:
+        if arr.shape[0] != length:
+            raise DimensionError("all kernel arguments must share their leading dimension")
+    if not python_loop:
+        return fn(*arrays)
+
+    per_element = [fn(*(arr[i:i + 1] for arr in arrays)) for i in range(length)]
+    if not per_element:
+        return fn(*arrays)
+    if isinstance(per_element[0], tuple):
+        n_out = len(per_element[0])
+        return tuple(np.concatenate([out[k] for out in per_element]) for k in range(n_out))
+    return np.concatenate(per_element)
+
+
+def scatter_add(target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Atomic-add analogue: accumulate ``values`` into ``target`` at ``indices``."""
+    np.add.at(target, indices, values)
+    return target
+
+
+def segment_sum(values: np.ndarray, segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` grouped by ``segment_ids`` (the reduction kernel analogue)."""
+    out = np.zeros(n_segments, dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    return out

@@ -1,0 +1,38 @@
+"""Power-flow substrate shared by every solver in the package.
+
+* :mod:`repro.powerflow.ybus` — sparse bus/branch admittance matrices;
+* :mod:`repro.powerflow.branch_derivatives` — vectorised per-branch flow
+  values, gradients, and Hessians in polar voltage coordinates (the single
+  implementation of branch physics used by the ADMM branch subproblems, the
+  interior-point baseline, and the Newton power flow);
+* :mod:`repro.powerflow.flows` — branch-flow recomputation from bus voltages
+  and line-limit violation metrics;
+* :mod:`repro.powerflow.newton` — Newton–Raphson AC power flow;
+* :mod:`repro.powerflow.dc` — DC (linearised) power flow.
+"""
+
+from repro.powerflow.branch_derivatives import (
+    BranchQuantities,
+    branch_quantities,
+    quantity_value,
+    quantity_value_grad,
+    quantity_value_grad_hess,
+)
+from repro.powerflow.flows import branch_flows, line_limit_violation
+from repro.powerflow.newton import NewtonResult, solve_power_flow
+from repro.powerflow.ybus import build_ybus
+from repro.powerflow.dc import dc_power_flow
+
+__all__ = [
+    "BranchQuantities",
+    "branch_quantities",
+    "quantity_value",
+    "quantity_value_grad",
+    "quantity_value_grad_hess",
+    "branch_flows",
+    "line_limit_violation",
+    "NewtonResult",
+    "solve_power_flow",
+    "build_ybus",
+    "dc_power_flow",
+]

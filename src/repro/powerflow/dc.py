@@ -1,0 +1,74 @@
+"""DC (linearised) power flow.
+
+Used for quick feasibility screening, for sizing line ratings in the
+synthetic-case generator, and as a sanity baseline in tests.  The DC model
+neglects losses, reactive power, and voltage magnitudes: branch flow is
+``(θ_f - θ_t) / x`` and bus angles solve a linear system driven by net real
+injections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from repro.grid.network import Network
+
+
+@dataclass(frozen=True)
+class DcFlowResult:
+    """Angles (rad) and per-branch real flows (pu) of a DC power flow."""
+
+    va: np.ndarray
+    flows: np.ndarray
+    injections: np.ndarray
+
+
+def dc_power_flow(network: Network, pg: np.ndarray | None = None) -> DcFlowResult:
+    """Solve the DC power flow.
+
+    Parameters
+    ----------
+    network:
+        The grid.
+    pg:
+        Per-generator real dispatch in per unit.  Defaults to distributing
+        the total load across in-service generators in proportion to their
+        capacity (a reasonable nominal operating point).
+    """
+    nb = network.n_bus
+    f = network.branch_from
+    t = network.branch_to
+    # Series reactance recovered from the admittance transfer term:
+    # for a line without transformer, b_ij ≈ x / (r^2 + x^2); the DC model
+    # only needs a positive susceptance weight per branch.
+    weight = np.abs(network.branch_b_ij)
+    weight = np.where(weight > 1e-12, weight, 1e-12)
+
+    if pg is None:
+        cap = network.gen_pmax.copy()
+        cap[~network.gen_status] = 0.0
+        total_cap = cap.sum()
+        total_load = network.bus_pd.sum()
+        pg = cap / total_cap * total_load if total_cap > 0 else np.zeros(network.n_gen)
+    pg = np.asarray(pg, dtype=float)
+
+    injections = -network.bus_pd.copy()
+    np.add.at(injections, network.gen_bus[network.gen_status], pg[network.gen_status])
+    injections = injections - injections.mean()
+
+    rows = np.concatenate([f, t, f, t])
+    cols = np.concatenate([f, t, t, f])
+    vals = np.concatenate([weight, weight, -weight, -weight])
+    b_matrix = sparse.coo_matrix((vals, (rows, cols)), shape=(nb, nb)).tocsc()
+
+    ref = network.ref_bus
+    keep = np.array([i for i in range(nb) if i != ref])
+    va = np.zeros(nb)
+    if keep.size:
+        va[keep] = spsolve(b_matrix[keep][:, keep], injections[keep])
+    flows = (va[f] - va[t]) * weight
+    return DcFlowResult(va=va, flows=flows, injections=injections)

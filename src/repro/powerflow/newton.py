@@ -1,0 +1,145 @@
+"""Newton–Raphson AC power flow.
+
+The power flow solves for bus voltages given a fixed generation dispatch:
+PQ buses have both injections specified, PV buses hold their voltage
+magnitude and real injection, and the reference bus holds magnitude and
+angle.  The solver is used to produce physically consistent starting points,
+to validate optimal dispatches produced by the ACOPF solvers, and in tests
+as an independent check of the branch-physics implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve
+
+from repro.exceptions import ConvergenceError
+from repro.grid.components import BusType
+from repro.grid.network import Network
+from repro.powerflow.ybus import build_ybus
+
+
+@dataclass
+class NewtonResult:
+    """Result of a Newton–Raphson power-flow solve."""
+
+    vm: np.ndarray
+    va: np.ndarray
+    converged: bool
+    iterations: int
+    max_mismatch: float
+
+
+def _bus_power(ybus: sparse.spmatrix, vm: np.ndarray, va: np.ndarray) -> np.ndarray:
+    v = vm * np.exp(1j * va)
+    return v * np.conj(ybus @ v)
+
+
+def _jacobian(ybus: sparse.spmatrix, vm: np.ndarray, va: np.ndarray,
+              pvpq: np.ndarray, pq: np.ndarray) -> sparse.csr_matrix:
+    """Standard polar power-flow Jacobian restricted to the unknowns."""
+    v = vm * np.exp(1j * va)
+    ibus = ybus @ v
+    diag_v = sparse.diags(v)
+    diag_i = sparse.diags(ibus)
+    diag_vnorm = sparse.diags(v / np.abs(v))
+    ds_dva = 1j * diag_v @ (np.conj(diag_i) - np.conj(ybus @ diag_v))
+    ds_dvm = diag_v @ np.conj(ybus @ diag_vnorm) + np.conj(diag_i) @ diag_vnorm
+
+    j11 = ds_dva[pvpq][:, pvpq].real
+    j12 = ds_dvm[pvpq][:, pq].real
+    j21 = ds_dva[pq][:, pvpq].imag
+    j22 = ds_dvm[pq][:, pq].imag
+    return sparse.bmat([[j11, j12], [j21, j22]], format="csr")
+
+
+def solve_power_flow(network: Network, pg: np.ndarray | None = None,
+                     qg: np.ndarray | None = None, vm0: np.ndarray | None = None,
+                     va0: np.ndarray | None = None, tol: float = 1e-8,
+                     max_iter: int = 30, raise_on_failure: bool = False) -> NewtonResult:
+    """Run a Newton–Raphson power flow.
+
+    Parameters
+    ----------
+    network:
+        Grid to solve.
+    pg, qg:
+        Generator real / reactive dispatch in per unit (defaults to the case
+        file's dispatch).  Reactive dispatch only matters for PQ-modelled
+        generators, which the standard formulation does not use.
+    vm0, va0:
+        Initial voltage guess (defaults: case-file magnitudes for PV/REF
+        buses, flat 1.0 pu elsewhere, zero angles).
+    tol:
+        Infinity-norm mismatch tolerance in per unit.
+    max_iter:
+        Maximum Newton iterations.
+    raise_on_failure:
+        Raise :class:`ConvergenceError` instead of returning a non-converged
+        result.
+    """
+    nb = network.n_bus
+    ybus, _, _ = build_ybus(network)
+    bus_type = network.bus_type
+    ref = np.flatnonzero(bus_type == int(BusType.REF))
+    pv = np.flatnonzero(bus_type == int(BusType.PV))
+    pq = np.flatnonzero((bus_type != int(BusType.REF)) & (bus_type != int(BusType.PV)))
+    pvpq = np.concatenate([pv, pq])
+
+    if pg is None:
+        pg = network.gen_pg0
+    pg = np.asarray(pg, dtype=float)
+    if qg is None:
+        qg = network.gen_qg0
+    qg = np.asarray(qg, dtype=float)
+
+    p_spec = -network.bus_pd.copy()
+    q_spec = -network.bus_qd.copy()
+    np.add.at(p_spec, network.gen_bus[network.gen_status], pg[network.gen_status])
+    np.add.at(q_spec, network.gen_bus[network.gen_status], qg[network.gen_status])
+
+    vm = network.bus_vm0.copy() if vm0 is None else np.asarray(vm0, dtype=float).copy()
+    va = np.zeros(nb) if va0 is None else np.asarray(va0, dtype=float).copy()
+    # PV / REF buses hold the generator voltage set point when one is given.
+    for g in range(network.n_gen):
+        if network.gen_status[g]:
+            bus = network.gen_bus[g]
+            if bus_type[bus] in (int(BusType.PV), int(BusType.REF)) and vm0 is None:
+                setpoint = network.generators[g].vg
+                if setpoint > 0:
+                    vm[bus] = setpoint
+    va[ref] = network.bus_va0[ref]
+
+    converged = False
+    iterations = 0
+    mismatch_norm = np.inf
+    for iterations in range(1, max_iter + 1):
+        s = _bus_power(ybus, vm, va)
+        dp = s.real - p_spec
+        dq = s.imag - q_spec
+        mismatch = np.concatenate([dp[pvpq], dq[pq]])
+        mismatch_norm = float(np.max(np.abs(mismatch))) if mismatch.size else 0.0
+        if mismatch_norm < tol:
+            converged = True
+            break
+        jac = _jacobian(ybus, vm, va, pvpq, pq)
+        try:
+            step = spsolve(jac.tocsc(), mismatch)
+        except RuntimeError as exc:  # singular Jacobian
+            if raise_on_failure:
+                raise ConvergenceError(f"power flow Jacobian solve failed: {exc}",
+                                       iterations=iterations,
+                                       residual=mismatch_norm) from exc
+            break
+        n_ang = pvpq.size
+        va[pvpq] -= step[:n_ang]
+        vm[pq] -= step[n_ang:]
+
+    if not converged and raise_on_failure:
+        raise ConvergenceError("power flow did not converge",
+                               iterations=iterations, residual=mismatch_norm)
+    return NewtonResult(vm=vm, va=va, converged=converged, iterations=iterations,
+                        max_mismatch=mismatch_norm)

@@ -1,0 +1,59 @@
+"""Sparse admittance-matrix assembly.
+
+``Ybus`` relates complex bus voltages to complex bus current injections,
+``I = Ybus V``; ``Yf`` and ``Yt`` give the branch currents measured at the
+from- and to-ends.  The entries are built from the same per-branch
+coefficients the :class:`~repro.grid.network.Network` exposes, so the matrix
+and the per-branch formulations are consistent by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.grid.network import Network
+
+
+def build_ybus(network: Network) -> tuple[sparse.csr_matrix, sparse.csr_matrix, sparse.csr_matrix]:
+    """Return ``(Ybus, Yf, Yt)`` as CSR matrices.
+
+    ``Ybus`` is ``n_bus x n_bus``; ``Yf`` and ``Yt`` are ``n_branch x n_bus``
+    such that the from-side complex flow of branch ``l`` is
+    ``V_f[l] * conj((Yf @ V)[l])``.
+    """
+    nb, nl = network.n_bus, network.n_branch
+    f = network.branch_from
+    t = network.branch_to
+    yff = network.branch_g_ii + 1j * network.branch_b_ii
+    yft = network.branch_g_ij + 1j * network.branch_b_ij
+    ytf = network.branch_g_ji + 1j * network.branch_b_ji
+    ytt = network.branch_g_jj + 1j * network.branch_b_jj
+
+    rows_f = np.arange(nl)
+    yf = sparse.coo_matrix(
+        (np.concatenate([yff, yft]),
+         (np.concatenate([rows_f, rows_f]), np.concatenate([f, t]))),
+        shape=(nl, nb)).tocsr()
+    yt = sparse.coo_matrix(
+        (np.concatenate([ytf, ytt]),
+         (np.concatenate([rows_f, rows_f]), np.concatenate([f, t]))),
+        shape=(nl, nb)).tocsr()
+
+    ysh = network.bus_gs + 1j * network.bus_bs
+    cf = sparse.coo_matrix((np.ones(nl), (rows_f, f)), shape=(nl, nb)).tocsr()
+    ct = sparse.coo_matrix((np.ones(nl), (rows_f, t)), shape=(nl, nb)).tocsr()
+    ybus = cf.T @ yf + ct.T @ yt + sparse.diags(ysh)
+    return ybus.tocsr(), yf, yt
+
+
+def bus_injections(network: Network, vm: np.ndarray, va: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Complex power injected into the network at each bus, split into P and Q.
+
+    Positive values mean power flowing from the bus into the grid (i.e. the
+    value that generation minus load must equal at a solved operating point).
+    """
+    ybus, _, _ = build_ybus(network)
+    v = vm * np.exp(1j * va)
+    s = v * np.conj(ybus @ v)
+    return s.real, s.imag

@@ -1,0 +1,22 @@
+"""Multi-period solution tracking with warm starts (paper Section IV-C).
+
+* :mod:`repro.tracking.load_profile` — synthetic ISO-New-England-like demand
+  profile interpolated to one-minute periods;
+* :mod:`repro.tracking.ramping` — generator ramp-rate limits between periods;
+* :mod:`repro.tracking.horizon` — the driver that solves a horizon of
+  load-perturbed ACOPFs, warm-starting each period from the previous
+  solution, for both the ADMM solver and the centralized baseline.
+"""
+
+from repro.tracking.load_profile import LoadProfile, make_load_profile
+from repro.tracking.horizon import HorizonResult, PeriodRecord, track_horizon
+from repro.tracking.ramping import apply_ramp_limits
+
+__all__ = [
+    "LoadProfile",
+    "make_load_profile",
+    "HorizonResult",
+    "PeriodRecord",
+    "track_horizon",
+    "apply_ramp_limits",
+]

@@ -1,0 +1,146 @@
+"""Multi-period tracking driver (the paper's warm-start experiment).
+
+``track_horizon`` solves one ACOPF per period of a load profile.  The first
+period is solved from cold start; every subsequent period is warm-started
+from the previous period's solution (unless ``warm_start=False``, which is
+the cold-start ablation).  Generator ramp limits of 2 % of ``pmax`` per
+period tie consecutive dispatches together exactly as in the paper.
+
+Both solution methods are supported so the benchmark harness can produce the
+paper's Figure 1 (cumulative time, ADMM vs. Ipopt), Figure 2 (max constraint
+violation per period), and Figure 3 (relative objective gap per period).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.admm.parameters import AdmmParameters, parameters_for_case
+from repro.admm.solver import AdmmSolver
+from repro.baseline.interior_point import InteriorPointOptions
+from repro.baseline.solver import solve_acopf_ipm
+from repro.exceptions import ConfigurationError
+from repro.grid.network import Network
+from repro.logging_utils import get_logger
+from repro.tracking.load_profile import LoadProfile
+from repro.tracking.ramping import DEFAULT_RAMP_FRACTION, apply_ramp_limits
+
+LOGGER = get_logger("tracking")
+
+METHODS = ("admm", "ipm")
+
+
+@dataclass
+class PeriodRecord:
+    """Result of one tracking period."""
+
+    period: int
+    load_multiplier: float
+    objective: float
+    max_violation: float
+    solve_seconds: float
+    iterations: int
+    converged: bool
+    pg: np.ndarray
+    vm: np.ndarray
+    va: np.ndarray
+
+
+@dataclass
+class HorizonResult:
+    """Result of a full tracking run."""
+
+    method: str
+    network_name: str
+    warm_start: bool
+    periods: list[PeriodRecord] = field(default_factory=list)
+
+    @property
+    def cumulative_seconds(self) -> np.ndarray:
+        """Cumulative computation time after each period (Figure 1's y-axis)."""
+        return np.cumsum([p.solve_seconds for p in self.periods])
+
+    @property
+    def objectives(self) -> np.ndarray:
+        return np.array([p.objective for p in self.periods])
+
+    @property
+    def violations(self) -> np.ndarray:
+        return np.array([p.max_violation for p in self.periods])
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(p.solve_seconds for p in self.periods))
+
+
+def track_horizon(network: Network, profile: LoadProfile, method: str = "admm",
+                  warm_start: bool = True,
+                  admm_params: AdmmParameters | None = None,
+                  ipm_options: InteriorPointOptions | None = None,
+                  ramp_fraction: float = DEFAULT_RAMP_FRACTION,
+                  time_limit_per_period: float | None = None) -> HorizonResult:
+    """Solve every period of the profile and return the per-period records."""
+    if method not in METHODS:
+        raise ConfigurationError(f"unknown tracking method {method!r}; choose from {METHODS}")
+
+    result = HorizonResult(method=method, network_name=network.name, warm_start=warm_start)
+    previous_pg: np.ndarray | None = None
+    admm_state = None
+    ipm_x0 = None
+
+    for period in range(profile.n_periods):
+        multiplier = profile.multiplier(period)
+        scaled = network.with_scaled_loads(multiplier,
+                                           name=f"{network.name}_t{period}")
+        if previous_pg is not None:
+            scaled = apply_ramp_limits(scaled, previous_pg, fraction=ramp_fraction)
+
+        start = time.perf_counter()
+        if method == "admm":
+            params = admm_params if admm_params is not None else parameters_for_case(network)
+            solver = AdmmSolver(scaled, params=params)
+            solution = solver.solve(
+                warm_start=admm_state if (warm_start and period > 0) else None,
+                time_limit=time_limit_per_period)
+            admm_state = solution.state
+            record = PeriodRecord(
+                period=period, load_multiplier=multiplier,
+                objective=solution.objective,
+                max_violation=solution.max_constraint_violation,
+                solve_seconds=time.perf_counter() - start,
+                iterations=solution.inner_iterations, converged=solution.converged,
+                pg=solution.pg, vm=solution.vm, va=solution.va)
+        else:
+            solution = solve_acopf_ipm(
+                scaled, options=ipm_options,
+                x0=ipm_x0 if (warm_start and period > 0) else None)
+            ipm_x0 = solution.as_warm_start()
+            record = PeriodRecord(
+                period=period, load_multiplier=multiplier,
+                objective=solution.objective,
+                max_violation=solution.max_constraint_violation,
+                solve_seconds=time.perf_counter() - start,
+                iterations=solution.iterations, converged=solution.converged,
+                pg=solution.pg, vm=solution.vm, va=solution.va)
+
+        previous_pg = record.pg
+        result.periods.append(record)
+        LOGGER.debug("%s period %d: obj=%.2f viol=%.2e %.2fs",
+                     method, period, record.objective, record.max_violation,
+                     record.solve_seconds)
+    return result
+
+
+def relative_gaps(candidate: HorizonResult, reference: HorizonResult) -> np.ndarray:
+    """Per-period relative objective gap of ``candidate`` against ``reference``.
+
+    This is Figure 3's series: the ADMM run measured against the centralized
+    baseline run over the same horizon.
+    """
+    if len(candidate.periods) != len(reference.periods):
+        raise ConfigurationError("horizon results have different lengths")
+    ref = reference.objectives
+    return np.abs(candidate.objectives - ref) / np.abs(ref)

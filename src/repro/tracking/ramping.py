@@ -1,0 +1,56 @@
+"""Generator ramp-rate limits between tracking periods.
+
+When warm-starting period ``t+1`` from period ``t`` the paper enforces
+``|pg_{t+1} − pg_t| ≤ r_g`` with ``r_g`` equal to 2 % of the generator's
+maximum real output.  The simplest faithful realisation is to shrink each
+generator's dispatch window to the ramp-feasible interval around its previous
+set point before the period is solved, which is what both solvers use here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.components import Generator
+from repro.grid.network import Network
+
+#: The paper's ramp rate: 2 % of the generator's upper real-power limit.
+DEFAULT_RAMP_FRACTION = 0.02
+
+
+def ramp_limits(network: Network, fraction: float = DEFAULT_RAMP_FRACTION) -> np.ndarray:
+    """Per-generator ramp limit in per unit for one period."""
+    explicit = network.gen_ramp
+    fallback = fraction * network.gen_pmax
+    return np.where(explicit > 0, np.minimum(explicit, fallback), fallback)
+
+
+def apply_ramp_limits(network: Network, previous_pg: np.ndarray,
+                      fraction: float = DEFAULT_RAMP_FRACTION,
+                      name: str | None = None) -> Network:
+    """Return a copy of ``network`` with generator limits tightened to the
+    ramp-feasible window around ``previous_pg`` (per unit, full generator axis).
+    """
+    previous_pg = np.asarray(previous_pg, dtype=float)
+    limit = ramp_limits(network, fraction)
+    base = network.base_mva
+
+    new_gens = []
+    for g, gen in enumerate(network.generators):
+        if not gen.in_service:
+            new_gens.append(gen)
+            continue
+        lo = max(network.gen_pmin[g], previous_pg[g] - limit[g]) * base
+        hi = min(network.gen_pmax[g], previous_pg[g] + limit[g]) * base
+        # Never produce an empty window (can happen if the previous point sat
+        # at a bound): keep at least the previous set point inside.
+        if lo > hi:
+            lo = hi = float(np.clip(previous_pg[g] * base, network.gen_pmin[g] * base,
+                                    network.gen_pmax[g] * base))
+        new_gens.append(Generator(bus=gen.bus, pg=gen.pg, qg=gen.qg, qmax=gen.qmax,
+                                  qmin=gen.qmin, vg=gen.vg, mbase=gen.mbase,
+                                  status=gen.status, pmax=hi, pmin=lo,
+                                  ramp_rate=gen.ramp_rate))
+    return Network(name=name or network.name, base_mva=network.base_mva,
+                   buses=list(network.buses), branches=list(network.branches),
+                   generators=new_gens, costs=list(network.costs))

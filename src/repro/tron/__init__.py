@@ -1,0 +1,28 @@
+"""Batched bound-constrained trust-region Newton solver (ExaTron substitute).
+
+The paper solves its branch subproblems — tiny (≤6 variable) nonconvex
+bound-constrained NLPs — with ExaTron, a CUDA implementation of the TRON
+algorithm of Lin and Moré (1999): a projected-gradient Cauchy point followed
+by a Steihaug–Toint conjugate-gradient solve of the trust-region subproblem
+restricted to the free variables, with negative-curvature directions followed
+to the trust-region boundary.
+
+This subpackage reimplements that algorithm in NumPy in a *batched* form: all
+state arrays carry a leading batch axis and every operation is vectorised
+across it, mirroring ExaTron's "one thread block per problem" execution
+model.  A loop backend (one problem at a time) is provided as a reference
+implementation and for debugging.
+"""
+
+from repro.tron.options import TronOptions
+from repro.tron.driver import TronResult, tron_solve, tron_solve_batch
+from repro.tron.batch import BatchProblem, solve_batch
+
+__all__ = [
+    "TronOptions",
+    "TronResult",
+    "tron_solve",
+    "tron_solve_batch",
+    "BatchProblem",
+    "solve_batch",
+]

@@ -1,0 +1,96 @@
+"""Cauchy-point computation for the batched TRON solver.
+
+The Cauchy point is the first step of every TRON iteration: a point of
+sufficient decrease along the projected steepest-descent path
+
+``x(α) = P(x - α g)``
+
+restricted to the trust region.  The initial step size is the smaller of the
+trust-region step ``δ/‖g‖`` and the exact minimiser of the quadratic model
+along ``-g`` (when the curvature ``gᵀHg`` is positive); if the sufficient
+decrease test ``q(s) ≤ μ0 gᵀs`` fails, α is halved — evaluating only the
+problems that still fail, so a few stragglers in a large batch do not force
+repeated work on the whole batch (the batched analogue of per-thread-block
+control flow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tron.projection import project
+
+
+def _quadratic_model(g: np.ndarray, hess: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Evaluate ``q(s) = gᵀs + ½ sᵀHs`` per problem."""
+    hs = np.einsum("...ij,...j->...i", hess, s)
+    return np.einsum("...i,...i->...", g, s) + 0.5 * np.einsum("...i,...i->...", s, hs)
+
+
+def cauchy_point(x: np.ndarray, g: np.ndarray, hess: np.ndarray, delta: np.ndarray,
+                 lb: np.ndarray, ub: np.ndarray, mu0: float = 1e-2,
+                 max_steps: int = 25) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the Cauchy step for each problem in the batch.
+
+    Parameters
+    ----------
+    x, g, hess:
+        Current iterate ``(B, n)``, gradient ``(B, n)``, Hessian ``(B, n, n)``.
+    delta:
+        Trust-region radius per problem ``(B,)``.
+    lb, ub:
+        Bounds ``(B, n)``.
+    mu0:
+        Sufficient-decrease fraction.
+    max_steps:
+        Cap on interpolation (halving) steps.
+
+    Returns
+    -------
+    s:
+        Cauchy step ``(B, n)``; ``x + s`` lies in the box and ``‖s‖ ≤ δ``.
+    alpha:
+        The accepted step size per problem ``(B,)`` (zero where no acceptable
+        step was found — the driver then shrinks the trust region).
+    """
+    gnorm = np.linalg.norm(g, axis=-1)
+    positive = gnorm > 0
+    safe_gnorm = np.where(positive, gnorm, 1.0)
+
+    hg = np.einsum("...ij,...j->...i", hess, g)
+    ghg = np.einsum("...i,...i->...", g, hg)
+    alpha_tr = delta / safe_gnorm
+    with np.errstate(divide="ignore", invalid="ignore"):
+        alpha_newton = np.where(ghg > 0, gnorm * gnorm / np.where(ghg > 0, ghg, 1.0), np.inf)
+    alpha = np.where(positive, np.minimum(alpha_tr, alpha_newton), 0.0)
+
+    def trial_step(alpha_vec: np.ndarray, xs, gs, lbs, ubs) -> np.ndarray:
+        return project(xs - alpha_vec[..., None] * gs, lbs, ubs) - xs
+
+    def acceptable(s: np.ndarray, gs, hs, ds) -> np.ndarray:
+        grad_dot = np.einsum("...i,...i->...", gs, s)
+        q = _quadratic_model(gs, hs, s)
+        within = np.linalg.norm(s, axis=-1) <= ds * (1.0 + 1e-10)
+        return (q <= mu0 * grad_dot) & within
+
+    s = trial_step(alpha, x, g, lb, ub)
+    ok = acceptable(s, g, hess, delta)
+
+    # Interpolation on the failing subset only.
+    failing = np.flatnonzero(~ok & positive)
+    for _ in range(max_steps):
+        if failing.size == 0:
+            break
+        alpha[failing] *= 0.5
+        s_sub = trial_step(alpha[failing], x[failing], g[failing], lb[failing], ub[failing])
+        ok_sub = acceptable(s_sub, g[failing], hess[failing], delta[failing])
+        accepted = failing[ok_sub]
+        if accepted.size:
+            s[accepted] = s_sub[ok_sub]
+        failing = failing[~ok_sub]
+
+    # Problems that never produced an acceptable step take a zero step.
+    if failing.size:
+        s[failing] = 0.0
+        alpha[failing] = 0.0
+    return s, alpha

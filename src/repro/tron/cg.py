@@ -1,0 +1,120 @@
+"""Batched Steihaug–Toint conjugate gradients for the trust-region subproblem.
+
+Given the quadratic model restricted to the free variables (those not
+clamped at a bound by the Cauchy point), the CG loop approximately minimises
+
+``q(w) = -rhsᵀ w + ½ wᵀ H w``   subject to   ``‖w‖ ≤ radius``,
+
+terminating on (i) sufficient residual reduction, (ii) hitting the
+trust-region boundary, or (iii) encountering a direction of negative
+curvature, which is followed to the boundary — the mechanism the paper relies
+on to handle the nonconvexity of the branch subproblems.
+
+Every quantity carries a leading batch axis; problems finish independently
+via boolean masks, emulating ExaTron's per-thread-block control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CgResult:
+    """Outcome of one batched Steihaug CG solve."""
+
+    step: np.ndarray
+    iterations: np.ndarray
+    hit_boundary: np.ndarray
+    negative_curvature: np.ndarray
+
+
+def _boundary_step(w: np.ndarray, d: np.ndarray, radius: np.ndarray) -> np.ndarray:
+    """Positive τ with ‖w + τ d‖ = radius (per problem); 0 when d vanishes."""
+    dd = np.einsum("...i,...i->...", d, d)
+    wd = np.einsum("...i,...i->...", w, d)
+    ww = np.einsum("...i,...i->...", w, w)
+    safe_dd = np.where(dd > 0, dd, 1.0)
+    disc = np.maximum(wd * wd + safe_dd * np.maximum(radius * radius - ww, 0.0), 0.0)
+    tau = (-wd + np.sqrt(disc)) / safe_dd
+    return np.where(dd > 0, np.maximum(tau, 0.0), 0.0)
+
+
+def steihaug_cg(hess: np.ndarray, rhs: np.ndarray, radius: np.ndarray,
+                free_mask: np.ndarray, tol: float = 0.1,
+                max_iter: int | None = None) -> CgResult:
+    """Approximately solve the batched trust-region subproblems.
+
+    Parameters
+    ----------
+    hess:
+        Hessians ``(B, n, n)``.
+    rhs:
+        Negative model gradient at the subproblem origin, ``(B, n)``.
+    radius:
+        Remaining trust-region radius per problem ``(B,)``.
+    free_mask:
+        Boolean ``(B, n)``; clamped variables are frozen (their step is 0).
+    tol:
+        Relative residual-reduction target.
+    max_iter:
+        Cap on CG iterations (default ``n + 1``).
+    """
+    batch, n = rhs.shape
+    if max_iter is None:
+        max_iter = n + 1
+
+    free = free_mask.astype(float)
+    w = np.zeros_like(rhs)
+    r = rhs * free
+    d = r.copy()
+    r_norm0 = np.linalg.norm(r, axis=-1)
+    active = (r_norm0 > 1e-14) & (radius > 0)
+    rr = np.einsum("...i,...i->...", r, r)
+
+    iterations = np.zeros(batch, dtype=int)
+    hit_boundary = np.zeros(batch, dtype=bool)
+    negative_curvature = np.zeros(batch, dtype=bool)
+
+    for _ in range(max_iter):
+        if not active.any():
+            break
+        hd = np.einsum("...ij,...j->...i", hess, d) * free
+        curv = np.einsum("...i,...i->...", d, hd)
+
+        # Negative (or zero) curvature: follow d to the boundary and stop.
+        neg = active & (curv <= 0.0)
+        if neg.any():
+            tau = _boundary_step(w, d, radius)
+            w = np.where(neg[..., None], w + tau[..., None] * d, w)
+            negative_curvature |= neg
+            hit_boundary |= neg
+            active = active & ~neg
+
+        safe_curv = np.where(curv > 0, curv, 1.0)
+        alpha = np.where(active, rr / safe_curv, 0.0)
+        w_trial = w + alpha[..., None] * d
+        too_far = active & (np.linalg.norm(w_trial, axis=-1) >= radius)
+        if too_far.any():
+            tau = _boundary_step(w, d, radius)
+            w = np.where(too_far[..., None], w + tau[..., None] * d, w)
+            hit_boundary |= too_far
+            active = active & ~too_far
+
+        w = np.where(active[..., None], w_trial, w)
+        r_new = r - alpha[..., None] * hd
+        rr_new = np.einsum("...i,...i->...", r_new, r_new)
+        iterations = iterations + active.astype(int)
+
+        converged = active & (np.sqrt(rr_new) <= tol * r_norm0)
+        active = active & ~converged
+
+        beta = np.where(rr > 0, rr_new / np.where(rr > 0, rr, 1.0), 0.0)
+        d = np.where(active[..., None], r_new + beta[..., None] * d, d)
+        r = np.where(active[..., None], r_new, r)
+        rr = np.where(active, rr_new, rr)
+
+    return CgResult(step=w, iterations=iterations, hit_boundary=hit_boundary,
+                    negative_curvature=negative_curvature)

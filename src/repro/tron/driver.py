@@ -1,0 +1,191 @@
+"""Batched TRON driver (trust-region Newton for bound-constrained problems).
+
+One call advances an entire batch of independent small problems to
+convergence, mirroring ExaTron's one-thread-block-per-problem execution: the
+batch axis of every array plays the role of the CUDA grid, and per-problem
+control flow (convergence, step acceptance, trust-region updates) is realised
+with boolean masks.
+
+The algorithm per problem and iteration is the TRON scheme of Lin & Moré:
+
+1. stop if the projected gradient is small;
+2. compute a Cauchy point along the projected steepest-descent path;
+3. refine within the free subspace by Steihaug CG, following negative
+   curvature to the trust-region boundary;
+4. apply a projected (feasibility-preserving) step back into the box;
+5. accept/reject by comparing actual to predicted reduction, and update the
+   trust-region radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.tron.cauchy import cauchy_point, _quadratic_model
+from repro.tron.cg import steihaug_cg
+from repro.tron.options import TronOptions
+from repro.tron.projection import (
+    free_variable_mask,
+    max_feasible_step,
+    project,
+    projected_gradient_norm,
+)
+
+#: Callback signatures: each maps a batch of points ``(B, n)`` to objective
+#: values ``(B,)``, gradients ``(B, n)``, and Hessians ``(B, n, n)``.
+ObjectiveFn = Callable[[np.ndarray], np.ndarray]
+GradientFn = Callable[[np.ndarray], np.ndarray]
+HessianFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class TronResult:
+    """Result of a batched TRON solve."""
+
+    x: np.ndarray
+    f: np.ndarray
+    projected_gradient_norm: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    function_evaluations: int
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(np.all(self.converged))
+
+
+def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: HessianFn,
+                     x0: np.ndarray, lb: np.ndarray, ub: np.ndarray,
+                     options: TronOptions | None = None) -> TronResult:
+    """Solve a batch of bound-constrained problems with TRON.
+
+    Parameters
+    ----------
+    objective, gradient, hessian:
+        Batched callbacks (see module docstring).  They are always called on
+        the full batch; converged problems simply stop moving, which mirrors
+        the lock-step execution of a GPU kernel.
+    x0:
+        Starting points ``(B, n)`` (projected onto the box before use).
+    lb, ub:
+        Bounds ``(B, n)``; equal entries pin a variable.
+    options:
+        :class:`TronOptions`; defaults are used when omitted.
+    """
+    options = options or TronOptions()
+    options.validate()
+
+    x0 = np.atleast_2d(np.asarray(x0, dtype=float))
+    lb = np.broadcast_to(np.asarray(lb, dtype=float), x0.shape)
+    ub = np.broadcast_to(np.asarray(ub, dtype=float), x0.shape)
+    if np.any(lb > ub):
+        raise DimensionError("lower bounds exceed upper bounds")
+    batch, n = x0.shape
+    max_cg = options.max_cg_iter or (n + 1)
+
+    x = project(x0, lb, ub)
+    f = np.asarray(objective(x), dtype=float)
+    g = np.asarray(gradient(x), dtype=float)
+    n_feval = 1
+
+    gnorm0 = np.linalg.norm(g, axis=-1)
+    delta = np.full(batch, options.delta_init) if options.delta_init else np.where(
+        gnorm0 > 0, gnorm0, 1.0)
+    delta = np.minimum(delta, options.delta_max)
+
+    iterations = np.zeros(batch, dtype=int)
+    converged = projected_gradient_norm(x, g, lb, ub) <= options.gtol
+
+    for _ in range(options.max_iter):
+        active = ~converged
+        if not active.any():
+            break
+        hess = np.asarray(hessian(x), dtype=float)
+
+        # --- Cauchy point -------------------------------------------------
+        s_cauchy, _ = cauchy_point(x, g, hess, delta, lb, ub,
+                                   mu0=options.mu0, max_steps=options.cauchy_max_steps)
+        x_cauchy = project(x + s_cauchy, lb, ub)
+        s_cauchy = x_cauchy - x
+
+        # --- CG refinement on the free subspace ---------------------------
+        model_grad = g + np.einsum("...ij,...j->...i", hess, s_cauchy)
+        free = free_variable_mask(x_cauchy, model_grad, lb, ub)
+        radius_left = np.maximum(delta - np.linalg.norm(s_cauchy, axis=-1), 0.0)
+        cg = steihaug_cg(hess, -model_grad, radius_left, free,
+                         tol=options.cg_tol, max_iter=max_cg)
+
+        # --- projected step back into the box ------------------------------
+        step_len = max_feasible_step(x_cauchy, cg.step, lb, ub, cap=1.0)
+        s = s_cauchy + step_len[..., None] * cg.step
+        x_trial = project(x + s, lb, ub)
+        s = x_trial - x
+
+        predicted = -_quadratic_model(g, hess, s)
+        f_trial = np.asarray(objective(x_trial), dtype=float)
+        n_feval += 1
+        actual = f - f_trial
+        safe_pred = np.where(np.abs(predicted) > 1e-300, predicted, 1e-300)
+        ratio = actual / safe_pred
+        degenerate = predicted <= 0
+
+        accept = active & ~degenerate & (ratio > options.eta0) & np.isfinite(f_trial)
+
+        # --- trust-region update -------------------------------------------
+        s_norm = np.linalg.norm(s, axis=-1)
+        shrink = active & (degenerate | (ratio <= options.eta1) | ~np.isfinite(f_trial))
+        grow = active & ~degenerate & (ratio >= options.eta2) & np.isfinite(f_trial)
+        delta = np.where(shrink, np.maximum(options.sigma1 * np.minimum(s_norm, delta),
+                                            1e-12), delta)
+        delta = np.where(grow, np.minimum(options.sigma3 * delta, options.delta_max), delta)
+
+        # --- commit accepted steps -----------------------------------------
+        if accept.any():
+            x = np.where(accept[..., None], x_trial, x)
+            f = np.where(accept, f_trial, f)
+            g_new = np.asarray(gradient(x), dtype=float)
+            g = np.where(accept[..., None], g_new, g)
+
+        iterations = iterations + active.astype(int)
+        pgnorm = projected_gradient_norm(x, g, lb, ub)
+        small_model = active & (predicted > 0) & (predicted <= options.frtol * (1.0 + np.abs(f)))
+        tiny_radius = active & (delta <= 1e-11)
+        converged = converged | (pgnorm <= options.gtol) | small_model | tiny_radius
+
+    pgnorm = projected_gradient_norm(x, g, lb, ub)
+    return TronResult(x=x, f=f, projected_gradient_norm=pgnorm,
+                      iterations=iterations, converged=converged | (pgnorm <= options.gtol),
+                      function_evaluations=n_feval)
+
+
+def tron_solve(objective: Callable[[np.ndarray], float],
+               gradient: Callable[[np.ndarray], np.ndarray],
+               hessian: Callable[[np.ndarray], np.ndarray],
+               x0: np.ndarray, lb: np.ndarray, ub: np.ndarray,
+               options: TronOptions | None = None) -> TronResult:
+    """Single-problem convenience wrapper around :func:`tron_solve_batch`.
+
+    The callbacks take and return unbatched arrays (``(n,)`` points, scalar
+    objective, ``(n, n)`` Hessian).
+    """
+    x0 = np.asarray(x0, dtype=float)
+
+    def batched_obj(xs: np.ndarray) -> np.ndarray:
+        return np.array([objective(row) for row in xs])
+
+    def batched_grad(xs: np.ndarray) -> np.ndarray:
+        return np.stack([np.asarray(gradient(row), dtype=float) for row in xs])
+
+    def batched_hess(xs: np.ndarray) -> np.ndarray:
+        return np.stack([np.asarray(hessian(row), dtype=float) for row in xs])
+
+    result = tron_solve_batch(batched_obj, batched_grad, batched_hess,
+                              x0[None, :], lb[None, :], ub[None, :], options)
+    return TronResult(x=result.x[0], f=result.f[0],
+                      projected_gradient_norm=result.projected_gradient_norm[:1][0],
+                      iterations=result.iterations[0], converged=result.converged[:1][0],
+                      function_evaluations=result.function_evaluations)

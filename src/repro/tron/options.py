@@ -1,0 +1,74 @@
+"""Options controlling the TRON trust-region solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class TronOptions:
+    """Tuning knobs of the batched TRON solver.
+
+    The defaults follow Lin & Moré (1999) and the ExaTron implementation.
+
+    Attributes
+    ----------
+    max_iter:
+        Maximum outer trust-region iterations per problem.
+    gtol:
+        Convergence tolerance on the infinity norm of the projected gradient.
+    frtol:
+        Relative function-reduction tolerance: a problem also stops when the
+        predicted reduction falls below ``frtol * |f|``.
+    cg_tol:
+        Relative residual-reduction target of the Steihaug CG solve.
+    max_cg_iter:
+        Cap on CG iterations per trust-region iteration (default: problem
+        dimension + 1).
+    mu0:
+        Sufficient-decrease fraction of the Cauchy-point search.
+    cauchy_max_steps:
+        Maximum interpolation / extrapolation steps of the Cauchy search.
+    eta0, eta1, eta2:
+        Step-acceptance and trust-region-update thresholds on the ratio of
+        actual to predicted reduction.
+    sigma1, sigma2, sigma3:
+        Trust-region shrink / keep / grow factors.
+    delta_init:
+        Initial trust-region radius; ``None`` uses the gradient norm.
+    delta_max:
+        Upper bound on the trust-region radius.
+    """
+
+    max_iter: int = 200
+    gtol: float = 1e-6
+    frtol: float = 1e-12
+    cg_tol: float = 0.1
+    max_cg_iter: int | None = None
+    mu0: float = 1e-2
+    cauchy_max_steps: int = 25
+    eta0: float = 1e-4
+    eta1: float = 0.25
+    eta2: float = 0.75
+    sigma1: float = 0.25
+    sigma2: float = 0.5
+    sigma3: float = 4.0
+    delta_init: float | None = None
+    delta_max: float = 1e10
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for inconsistent settings."""
+        if self.max_iter < 1:
+            raise ConfigurationError("max_iter must be at least 1")
+        if self.gtol <= 0:
+            raise ConfigurationError("gtol must be positive")
+        if not (0 < self.eta0 < self.eta1 < self.eta2 < 1):
+            raise ConfigurationError("require 0 < eta0 < eta1 < eta2 < 1")
+        if not (0 < self.sigma1 <= self.sigma2 < 1 < self.sigma3):
+            raise ConfigurationError("require 0 < sigma1 <= sigma2 < 1 < sigma3")
+        if not (0 < self.mu0 < 1):
+            raise ConfigurationError("mu0 must lie in (0, 1)")
+        if self.cg_tol <= 0 or self.cg_tol >= 1:
+            raise ConfigurationError("cg_tol must lie in (0, 1)")

@@ -1,0 +1,58 @@
+"""Bound-projection utilities shared by the TRON solver components.
+
+All functions are written for batched arrays ``(B, n)`` but work equally for
+single problems shaped ``(n,)`` thanks to NumPy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def project(x: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> np.ndarray:
+    """Project ``x`` onto the box ``[lb, ub]``."""
+    return np.minimum(np.maximum(x, lb), ub)
+
+
+def projected_gradient(x: np.ndarray, g: np.ndarray, lb: np.ndarray,
+                       ub: np.ndarray) -> np.ndarray:
+    """The projected-gradient stationarity measure ``x - P(x - g)``.
+
+    Its infinity norm vanishes exactly at first-order stationary points of a
+    bound-constrained problem, which is TRON's convergence measure.
+    """
+    return x - project(x - g, lb, ub)
+
+
+def projected_gradient_norm(x: np.ndarray, g: np.ndarray, lb: np.ndarray,
+                            ub: np.ndarray) -> np.ndarray:
+    """Infinity norm of the projected gradient along the last axis."""
+    return np.max(np.abs(projected_gradient(x, g, lb, ub)), axis=-1)
+
+
+def free_variable_mask(x: np.ndarray, g: np.ndarray, lb: np.ndarray, ub: np.ndarray,
+                       tol: float = 1e-12) -> np.ndarray:
+    """Boolean mask of variables *not* clamped at an active bound.
+
+    A variable is considered bound (not free) when it sits at a bound and the
+    gradient pushes it further outside.
+    """
+    at_lower = (x <= lb + tol) & (g >= 0.0)
+    at_upper = (x >= ub - tol) & (g <= 0.0)
+    return ~(at_lower | at_upper)
+
+
+def max_feasible_step(x: np.ndarray, d: np.ndarray, lb: np.ndarray, ub: np.ndarray,
+                      cap: float = 1.0) -> np.ndarray:
+    """Largest ``t in [0, cap]`` with ``x + t d`` inside the box (per problem).
+
+    Directions with zero components impose no restriction.  Used for the
+    projected line search after the CG refinement step.
+    """
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        to_upper = np.where(d > 0, (ub - x) / d, np.inf)
+        to_lower = np.where(d < 0, (lb - x) / d, np.inf)
+    limit = np.minimum(to_upper, to_lower)
+    limit = np.where(np.isnan(limit), np.inf, limit)
+    t = np.min(limit, axis=-1)
+    return np.clip(t, 0.0, cap)

@@ -1,0 +1,372 @@
+"""Unit tests for the ADMM component layout, state, and closed-form updates."""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize
+
+from repro.admm.artificial import (
+    update_artificial_variables,
+    update_multipliers,
+    update_outer_level,
+)
+from repro.admm.branch_update import build_branch_objective, update_branches
+from repro.admm.bus_update import update_buses
+from repro.admm.data import COUPLING_GROUPS, ComponentData
+from repro.admm.generator_update import update_generators
+from repro.admm.parameters import AdmmParameters, parameters_for_case, suggest_penalties
+from repro.admm.state import cold_start_state
+from repro.exceptions import ConfigurationError
+from repro.grid.cases import load_case
+from repro.powerflow.branch_derivatives import all_flow_values
+
+
+@pytest.fixture(scope="module")
+def case9_data():
+    network = load_case("case9")
+    return ComponentData.from_network(network, AdmmParameters())
+
+
+@pytest.fixture()
+def case9_state(case9_data):
+    return cold_start_state(case9_data)
+
+
+class TestParameters:
+    def test_defaults_validate(self):
+        AdmmParameters().validate()
+
+    def test_invalid_penalty(self):
+        with pytest.raises(ConfigurationError):
+            AdmmParameters(rho_pq=-1.0).validate()
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            AdmmParameters(beta_factor=0.5).validate()
+
+    def test_invalid_backend(self):
+        with pytest.raises(ConfigurationError):
+            AdmmParameters(tron_backend="gpu").validate()
+
+    def test_inner_tolerance_decreases_with_outer_iteration(self):
+        params = AdmmParameters()
+        assert params.inner_tolerance(1) >= params.inner_tolerance(3)
+        assert params.inner_tolerance(10) >= min(params.inner_tol_primal,
+                                                 params.inner_tol_dual)
+
+    def test_paper_penalties_returned_for_published_names(self):
+        net = load_case("1354pegase_like")
+        assert suggest_penalties(net) == (1e1, 1e3)
+
+    def test_small_case_penalties(self, case9):
+        rho_pq, rho_va = suggest_penalties(case9)
+        assert rho_pq > 0 and rho_va > rho_pq
+
+    def test_parameters_for_case(self, case9):
+        params = parameters_for_case(case9, max_outer=5)
+        assert params.max_outer == 5
+        assert params.rho_pq == suggest_penalties(case9)[0]
+
+
+class TestComponentData:
+    def test_counts(self, case9_data):
+        assert case9_data.n_gen == 3
+        assert case9_data.n_branch == 9
+        assert case9_data.n_bus == 9
+        assert case9_data.n_coupling == 2 * 3 + 8 * 9
+
+    def test_group_lengths(self, case9_data):
+        assert case9_data.group_length("gp") == 3
+        assert case9_data.group_length("wi") == 9
+
+    def test_rho_assignment(self, case9_data):
+        assert case9_data.rho["gp"] == case9_data.params.rho_pq
+        assert case9_data.rho["wi"] == case9_data.params.rho_va
+
+    def test_objective_scale_applied_and_undone(self, case9):
+        params = AdmmParameters(objective_scale=2.0)
+        data = ComponentData.from_network(case9, params)
+        pg = np.array([0.5, 0.5, 0.5])
+        assert np.isclose(data.generation_cost(pg), case9.generation_cost(pg))
+        assert np.allclose(data.gen_c2, 2.0 * case9.gen_cost_c2)
+
+    def test_inactive_generators_excluded(self, case9):
+        case = load_case("case9")
+        case.generators[2].status = 0
+        modified = type(case)(name="mod", base_mva=case.base_mva, buses=case.buses,
+                              branches=case.branches, generators=case.generators,
+                              costs=case.costs)
+        data = ComponentData.from_network(modified, AdmmParameters())
+        assert data.n_gen == 2
+
+
+class TestColdStart:
+    def test_midpoint_initialisation(self, case9_data, case9_state):
+        assert np.allclose(case9_state.pg,
+                           0.5 * (case9_data.gen_pmin + case9_data.gen_pmax))
+        assert np.allclose(case9_state.w, case9_data.bus_vm_mid ** 2)
+        assert np.allclose(case9_state.theta, 0.0)
+
+    def test_flows_consistent_with_branch_variables(self, case9_data, case9_state):
+        flows = all_flow_values(case9_data.quantities, case9_state.vi, case9_state.vj,
+                                case9_state.ti, case9_state.tj)
+        assert np.allclose(flows[0], case9_state.pij)
+        assert np.allclose(flows[3], case9_state.qji)
+
+    def test_multipliers_start_at_zero(self, case9_state):
+        for group in COUPLING_GROUPS:
+            assert np.allclose(case9_state.y[group], 0.0)
+            assert np.allclose(case9_state.z[group], 0.0)
+            assert np.allclose(case9_state.lz[group], 0.0)
+
+    def test_copy_is_independent(self, case9_state):
+        clone = case9_state.copy()
+        clone.pg[:] = 99.0
+        clone.y["gp"][:] = 1.0
+        assert not np.allclose(case9_state.pg, 99.0)
+        assert np.allclose(case9_state.y["gp"], 0.0)
+
+    def test_z_norm_zero_at_cold_start(self, case9_state):
+        assert case9_state.z_norm() == 0.0
+
+    def test_slacks_within_bounds(self, case9_data, case9_state):
+        rate_sq = np.where(np.isfinite(case9_data.branch_rate_sq),
+                           case9_data.branch_rate_sq, 0.0)
+        assert np.all(case9_state.sij <= 0.0)
+        assert np.all(case9_state.sij >= -rate_sq - 1e-12)
+
+
+class TestGeneratorUpdate:
+    def test_matches_scipy_per_generator(self, case9_data, case9_state, rng):
+        state = case9_state
+        # Randomise the coupling context so the test is not trivial.
+        state.pg_copy = rng.uniform(0.2, 2.0, case9_data.n_gen)
+        state.qg_copy = rng.uniform(-0.5, 0.5, case9_data.n_gen)
+        state.y["gp"] = rng.normal(size=case9_data.n_gen)
+        state.y["gq"] = rng.normal(size=case9_data.n_gen)
+        state.z["gp"] = rng.normal(size=case9_data.n_gen) * 0.01
+        state.z["gq"] = rng.normal(size=case9_data.n_gen) * 0.01
+        update_generators(case9_data, state)
+
+        rho_p = case9_data.rho["gp"]
+        rho_q = case9_data.rho["gq"]
+        for g in range(case9_data.n_gen):
+            def obj(v, g=g):
+                pg, qg = v
+                cost = case9_data.gen_c2[g] * pg ** 2 + case9_data.gen_c1[g] * pg
+                rp = pg - state.pg_copy[g] + state.z["gp"][g]
+                rq = qg - state.qg_copy[g] + state.z["gq"][g]
+                return (cost + state.y["gp"][g] * rp + 0.5 * rho_p * rp ** 2
+                        + state.y["gq"][g] * rq + 0.5 * rho_q * rq ** 2)
+
+            ref = minimize(obj, np.array([1.0, 0.0]), method="L-BFGS-B",
+                           bounds=[(case9_data.gen_pmin[g], case9_data.gen_pmax[g]),
+                                   (case9_data.gen_qmin[g], case9_data.gen_qmax[g])])
+            assert np.isclose(state.pg[g], ref.x[0], atol=1e-6)
+            assert np.isclose(state.qg[g], ref.x[1], atol=1e-6)
+
+    def test_respects_bounds(self, case9_data, case9_state):
+        case9_state.y["gp"][:] = 1e6  # push hard toward the lower bound
+        update_generators(case9_data, case9_state)
+        assert np.all(case9_state.pg >= case9_data.gen_pmin - 1e-12)
+        assert np.all(case9_state.pg <= case9_data.gen_pmax + 1e-12)
+
+
+class TestBusUpdate:
+    def test_power_balance_satisfied_exactly(self, case9_data, case9_state, rng):
+        state = case9_state
+        # Random component-side values to make the QP non-trivial.
+        state.pg = rng.uniform(0.2, 2.0, case9_data.n_gen)
+        state.qg = rng.uniform(-0.5, 0.5, case9_data.n_gen)
+        state.pij = rng.normal(size=case9_data.n_branch)
+        state.qij = rng.normal(size=case9_data.n_branch)
+        state.pji = rng.normal(size=case9_data.n_branch)
+        state.qji = rng.normal(size=case9_data.n_branch)
+        for group in COUPLING_GROUPS:
+            state.y[group] = rng.normal(size=case9_data.group_length(group)) * 0.1
+        update_buses(case9_data, state)
+
+        # The bus subproblem enforces (1b)-(1c) exactly at its solution.
+        nb = case9_data.n_bus
+        p_balance = -case9_data.bus_pd - case9_data.bus_gs * state.w
+        q_balance = -case9_data.bus_qd + case9_data.bus_bs * state.w
+        np.add.at(p_balance, case9_data.gen_bus, state.pg_copy)
+        np.add.at(q_balance, case9_data.gen_bus, state.qg_copy)
+        np.subtract.at(p_balance, case9_data.branch_from, state.pij_copy)
+        np.subtract.at(q_balance, case9_data.branch_from, state.qij_copy)
+        np.subtract.at(p_balance, case9_data.branch_to, state.pji_copy)
+        np.subtract.at(q_balance, case9_data.branch_to, state.qji_copy)
+        assert np.allclose(p_balance, 0.0, atol=1e-9)
+        assert np.allclose(q_balance, 0.0, atol=1e-9)
+
+    def test_matches_generic_qp_solution_for_one_bus(self, case9_data, case9_state):
+        """Cross-check the closed form against a generic equality-constrained QP."""
+        state = case9_state
+        update_buses(case9_data, state)
+        bus = 4  # a load bus of case9 with two incident branches
+        gens = [g for g in range(case9_data.n_gen) if case9_data.gen_bus[g] == bus]
+        from_lines = np.flatnonzero(case9_data.branch_from == bus)
+        to_lines = np.flatnonzero(case9_data.branch_to == bus)
+
+        # Assemble the bus QP explicitly: variables ordered as
+        # [pg..., qg..., pij..., qij..., pji..., qji..., w, theta].
+        rho = case9_data.rho
+        diag = []
+        lin = []
+        a_p = []
+        a_q = []
+
+        def add(var_rho, target, y, ap, aq):
+            diag.append(var_rho)
+            lin.append(var_rho * target + y)
+            a_p.append(ap)
+            a_q.append(aq)
+
+        for g in gens:
+            add(rho["gp"], state.pg[g] + state.z["gp"][g], state.y["gp"][g], 1.0, 0.0)
+        for g in gens:
+            add(rho["gq"], state.qg[g] + state.z["gq"][g], state.y["gq"][g], 0.0, 1.0)
+        for l in from_lines:
+            add(rho["pij"], state.pij[l] + state.z["pij"][l], state.y["pij"][l], -1.0, 0.0)
+        for l in from_lines:
+            add(rho["qij"], state.qij[l] + state.z["qij"][l], state.y["qij"][l], 0.0, -1.0)
+        for l in to_lines:
+            add(rho["pji"], state.pji[l] + state.z["pji"][l], state.y["pji"][l], -1.0, 0.0)
+        for l in to_lines:
+            add(rho["qji"], state.qji[l] + state.z["qji"][l], state.y["qji"][l], 0.0, -1.0)
+        # w variable: one consensus term per incident branch end.
+        w_rho = rho["wi"] * len(from_lines) + rho["wj"] * len(to_lines)
+        w_lin = sum(rho["wi"] * (state.vi[l] ** 2 + state.z["wi"][l]) + state.y["wi"][l]
+                    for l in from_lines)
+        w_lin += sum(rho["wj"] * (state.vj[l] ** 2 + state.z["wj"][l]) + state.y["wj"][l]
+                     for l in to_lines)
+        add_w_ap = -case9_data.bus_gs[bus]
+        add_w_aq = case9_data.bus_bs[bus]
+        diag.append(w_rho)
+        lin.append(w_lin)
+        a_p.append(add_w_ap)
+        a_q.append(add_w_aq)
+
+        q_mat = np.diag(diag)
+        c_vec = np.array(lin)
+        a_mat = np.vstack([a_p, a_q])
+        b_vec = np.array([case9_data.bus_pd[bus], case9_data.bus_qd[bus]])
+        # Solve the KKT system directly.
+        n = len(diag)
+        kkt = np.block([[q_mat, a_mat.T], [a_mat, np.zeros((2, 2))]])
+        rhs = np.concatenate([c_vec, b_vec])
+        sol = np.linalg.solve(kkt, rhs)
+        w_expected = sol[n - 1]
+        assert np.isclose(state.w[bus], w_expected, atol=1e-8)
+
+
+class TestArtificialAndMultipliers:
+    def test_z_update_is_stationary_point(self, case9_data, case9_state, rng):
+        state = case9_state
+        for group in COUPLING_GROUPS:
+            state.y[group] = rng.normal(size=case9_data.group_length(group))
+            state.lz[group] = rng.normal(size=case9_data.group_length(group))
+        update_artificial_variables(case9_data, state)
+        residuals = state.coupling_residuals(case9_data)
+        for group in COUPLING_GROUPS:
+            rho = case9_data.rho[group]
+            grad = (state.lz[group] + state.beta * state.z[group] + state.y[group]
+                    + rho * (residuals[group] + state.z[group]))
+            assert np.allclose(grad, 0.0, atol=1e-8)
+
+    def test_multiplier_update_increments_by_rho_times_residual(self, case9_data, case9_state):
+        state = case9_state
+        before = {g: state.y[g].copy() for g in COUPLING_GROUPS}
+        primal = update_multipliers(case9_data, state)
+        for group in COUPLING_GROUPS:
+            assert np.allclose(state.y[group],
+                               before[group] + case9_data.rho[group] * primal[group])
+
+    def test_outer_update_grows_beta_when_z_stalls(self, case9_data, case9_state):
+        state = case9_state
+        state.z["gp"][:] = 1.0  # pretend z is large and not contracting
+        beta_before = state.beta
+        update_outer_level(case9_data, state, previous_z_norm=1.0)
+        assert state.beta == pytest.approx(
+            min(beta_before * case9_data.params.beta_factor, case9_data.params.beta_max))
+
+    def test_outer_update_keeps_beta_when_z_contracts(self, case9_data, case9_state):
+        state = case9_state
+        state.z["gp"][:] = 1e-9
+        beta_before = state.beta
+        update_outer_level(case9_data, state, previous_z_norm=1.0)
+        assert state.beta == beta_before
+
+    def test_outer_multiplier_projection(self, case9_data, case9_state):
+        state = case9_state
+        params = case9_data.params
+        state.beta = 10.0
+        state.z["gp"][:] = params.outer_multiplier_bound  # absurdly large
+        update_outer_level(case9_data, state, previous_z_norm=1.0)
+        assert np.all(np.abs(state.lz["gp"]) <= params.outer_multiplier_bound)
+
+
+class TestBranchUpdate:
+    def test_objective_gradient_matches_finite_differences(self, case9_data, case9_state, rng):
+        objective = build_branch_objective(case9_data, case9_state)
+        u = np.column_stack([case9_state.vi, case9_state.vj, case9_state.ti,
+                             case9_state.tj, case9_state.sij, case9_state.sji])
+        u += rng.normal(scale=0.01, size=u.shape)
+        grad = objective.gradient(u)
+        eps = 1e-7
+        for k in range(6):
+            up = u.copy()
+            um = u.copy()
+            up[:, k] += eps
+            um[:, k] -= eps
+            fd = (objective.objective(up) - objective.objective(um)) / (2 * eps)
+            assert np.allclose(grad[:, k], fd, rtol=1e-4, atol=1e-4)
+
+    def test_objective_hessian_matches_finite_differences(self, case9_data, case9_state, rng):
+        objective = build_branch_objective(case9_data, case9_state)
+        u = np.column_stack([case9_state.vi, case9_state.vj, case9_state.ti,
+                             case9_state.tj, case9_state.sij, case9_state.sji])
+        u += rng.normal(scale=0.01, size=u.shape)
+        hess = objective.hessian(u)
+        eps = 1e-6
+        for k in range(6):
+            up = u.copy()
+            um = u.copy()
+            up[:, k] += eps
+            um[:, k] -= eps
+            fd = (objective.gradient(up) - objective.gradient(um)) / (2 * eps)
+            assert np.allclose(hess[:, k, :], fd, rtol=1e-3, atol=1e-3)
+
+    def test_update_decreases_branch_objective(self, case9_data, case9_state):
+        state = case9_state
+        objective = build_branch_objective(case9_data, state)
+        u_before = np.column_stack([state.vi, state.vj, state.ti, state.tj,
+                                    state.sij, state.sji])
+        f_before = objective.objective(u_before)
+        update_branches(case9_data, state)
+        u_after = np.column_stack([state.vi, state.vj, state.ti, state.tj,
+                                   state.sij, state.sji])
+        f_after = objective.objective(u_after)
+        assert np.all(f_after <= f_before + 1e-9)
+
+    def test_update_respects_voltage_bounds(self, case9_data, case9_state):
+        update_branches(case9_data, case9_state)
+        assert np.all(case9_state.vi >= case9_data.branch_vi_min - 1e-10)
+        assert np.all(case9_state.vi <= case9_data.branch_vi_max + 1e-10)
+        assert np.all(case9_state.vj >= case9_data.branch_vj_min - 1e-10)
+        assert np.all(case9_state.vj <= case9_data.branch_vj_max + 1e-10)
+
+    def test_update_refreshes_cached_flows(self, case9_data, case9_state):
+        update_branches(case9_data, case9_state)
+        flows = all_flow_values(case9_data.quantities, case9_state.vi, case9_state.vj,
+                                case9_state.ti, case9_state.tj)
+        assert np.allclose(flows[0], case9_state.pij)
+
+    def test_unlimited_branches_keep_zero_slack(self, small_synthetic):
+        params = AdmmParameters()
+        data = ComponentData.from_network(small_synthetic, params)
+        state = cold_start_state(data)
+        update_branches(data, state)
+        free = ~data.branch_has_limit
+        if free.any():
+            assert np.allclose(state.sij[free], 0.0)
+            assert np.allclose(state.sji[free], 0.0)

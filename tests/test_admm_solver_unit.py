@@ -1,0 +1,110 @@
+"""Unit-level tests of the ADMM driver (cheap configurations only).
+
+The heavier end-to-end checks live in ``test_integration_admm.py``; these
+tests exercise driver mechanics — solution extraction, iteration accounting,
+time limits, residual reporting — with iteration budgets small enough to run
+in well under a second each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.admm import AdmmParameters, AdmmSolver, solve_acopf_admm
+from repro.admm.data import ComponentData
+from repro.admm.residuals import ResidualInfo, compute_residuals
+from repro.admm.state import cold_start_state
+from repro.admm.artificial import update_multipliers
+from repro.exceptions import ConfigurationError
+from repro.grid.cases import load_case
+
+TINY = dict(max_outer=2, max_inner=15)
+
+
+class TestSolverMechanics:
+    def test_solution_arrays_have_network_shapes(self, case3):
+        solution = solve_acopf_admm(case3, params=AdmmParameters(**TINY))
+        assert solution.vm.shape == (case3.n_bus,)
+        assert solution.va.shape == (case3.n_bus,)
+        assert solution.pg.shape == (case3.n_gen,)
+        assert solution.qg.shape == (case3.n_gen,)
+
+    def test_objective_matches_network_cost_of_reported_dispatch(self, case3):
+        solution = solve_acopf_admm(case3, params=AdmmParameters(**TINY))
+        assert solution.objective == pytest.approx(case3.generation_cost(solution.pg))
+
+    def test_iteration_accounting(self, case3):
+        params = AdmmParameters(**TINY)
+        solution = solve_acopf_admm(case3, params=params)
+        assert solution.outer_iterations <= params.max_outer
+        assert solution.inner_iterations <= params.max_outer * params.max_inner
+        assert solution.inner_iterations == sum(
+            log.inner_iterations for log in solution.iteration_log)
+
+    def test_time_limit_stops_early(self, case9):
+        params = AdmmParameters(max_outer=20, max_inner=1000)
+        solution = solve_acopf_admm(case9, params=params, time_limit=0.5)
+        assert solution.solve_seconds < 5.0
+        assert not solution.converged or solution.solve_seconds <= 5.0
+
+    def test_invalid_parameters_rejected_at_construction(self, case3):
+        with pytest.raises(ConfigurationError):
+            AdmmSolver(case3, params=AdmmParameters(rho_pq=-1.0))
+
+    def test_solver_reusable_and_keeps_last_state(self, case3):
+        solver = AdmmSolver(case3, params=AdmmParameters(**TINY))
+        first = solver.solve()
+        assert solver.last_state is first.state
+        second = solver.solve(warm_start=first.state)
+        assert second.state is not first.state
+
+    def test_objective_scale_does_not_change_reported_objective_units(self, case3):
+        plain = solve_acopf_admm(case3, params=AdmmParameters(**TINY))
+        scaled = solve_acopf_admm(case3, params=AdmmParameters(objective_scale=2.0, **TINY))
+        # Reported objectives are always in unscaled $/h.
+        assert np.isclose(plain.objective, scaled.objective, rtol=0.2)
+
+    def test_vm_is_sqrt_of_bus_w(self, case3):
+        solution = solve_acopf_admm(case3, params=AdmmParameters(**TINY))
+        assert np.allclose(solution.vm ** 2, np.maximum(solution.state.w, 1e-12))
+
+
+class TestResidualReporting:
+    def test_residual_info_convergence_test(self):
+        info = ResidualInfo(primal_norm=1e-5, dual_norm=1e-5, primal_max=1e-4)
+        assert info.converged(1e-4, 1e-4)
+        assert not info.converged(1e-6, 1e-4)
+        assert not info.converged(1e-4, 1e-6)
+
+    def test_compute_residuals_zero_at_consistent_state(self, case3):
+        params = AdmmParameters()
+        data = ComponentData.from_network(case3, params)
+        state = cold_start_state(data)
+        # At cold start component and bus copies coincide, so the primal
+        # residual after a multiplier update is exactly the raw residual.
+        primal = update_multipliers(data, state)
+        info = compute_residuals(data, state, primal)
+        assert info.primal_norm >= 0.0
+        assert info.dual_norm >= 0.0
+        # Copies equal component values at cold start for gens and flows.
+        assert np.allclose(primal["gp"], 0.0)
+        assert np.allclose(primal["pij"], 0.0)
+
+    def test_residuals_shrink_over_inner_iterations(self, case3):
+        params = AdmmParameters(max_outer=1, max_inner=60)
+        solution = solve_acopf_admm(case3, params=params)
+        log = solution.iteration_log[0]
+        assert log.primal_residual < 1e-2
+
+
+class TestIterationLog:
+    def test_log_fields(self, case3):
+        solution = solve_acopf_admm(case3, params=AdmmParameters(**TINY))
+        entry = solution.iteration_log[0]
+        assert entry.outer_iteration == 1
+        assert entry.inner_iterations >= 1
+        assert entry.beta >= AdmmParameters().beta_init
+
+    def test_beta_never_exceeds_cap(self, case3):
+        params = AdmmParameters(max_outer=6, max_inner=10, beta_factor=100.0, beta_max=5e4)
+        solution = solve_acopf_admm(case3, params=params)
+        assert all(entry.beta <= 5e4 for entry in solution.iteration_log)

@@ -1,0 +1,100 @@
+"""Tests for solution metrics, reporting, and the experiment registry."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import constraint_violation, evaluate_solution, relative_objective_gap
+from repro.analysis.experiments import render_table1, table1
+from repro.analysis.reporting import render_series, render_table, summarize_speedup
+from repro.baseline import solve_acopf_ipm
+from repro.grid.cases import load_case
+
+
+class TestMetrics:
+    def test_zero_violation_at_baseline_solution(self, case9):
+        solution = solve_acopf_ipm(case9)
+        metrics = constraint_violation(case9, solution.vm, solution.va,
+                                       solution.pg, solution.qg,
+                                       capacity_fraction=1.0)
+        assert metrics.max_violation < 1e-5
+        assert metrics.objective == pytest.approx(solution.objective)
+
+    def test_power_balance_violation_detected(self, case9):
+        # A flat profile with no generation cannot satisfy the power balance.
+        metrics = constraint_violation(case9, np.ones(9), np.zeros(9),
+                                       np.zeros(3), np.zeros(3))
+        assert metrics.power_balance > 0.1
+
+    def test_voltage_violation_detected(self, case9):
+        vm = np.full(9, 1.5)
+        metrics = constraint_violation(case9, vm, np.zeros(9), case9.gen_pg0, case9.gen_qg0)
+        assert metrics.voltage_bound >= 0.4 - 1e-9
+
+    def test_generator_violation_detected(self, case9):
+        pg = case9.gen_pmax + 1.0
+        metrics = constraint_violation(case9, np.ones(9), np.zeros(9), pg, case9.gen_qg0)
+        assert metrics.generator_bound >= 1.0 - 1e-9
+
+    def test_capacity_tightening_increases_line_violation(self, case9):
+        solution = solve_acopf_ipm(case9)
+        loose = constraint_violation(case9, solution.vm, solution.va, solution.pg,
+                                     solution.qg, capacity_fraction=1.0)
+        tight = constraint_violation(case9, solution.vm, solution.va, solution.pg,
+                                     solution.qg, capacity_fraction=0.5)
+        assert tight.line_limit >= loose.line_limit
+
+    def test_relative_gap(self):
+        assert relative_objective_gap(101.0, 100.0) == pytest.approx(0.01)
+        assert relative_objective_gap(99.0, 100.0) == pytest.approx(0.01)
+        assert np.isnan(relative_objective_gap(5.0, 0.0))
+
+    def test_evaluate_solution_dictionary(self, case9):
+        solution = solve_acopf_ipm(case9)
+        out = evaluate_solution(case9, solution.vm, solution.va, solution.pg,
+                                solution.qg, reference_objective=solution.objective)
+        assert out["relative_gap"] == pytest.approx(0.0)
+        assert "max_violation" in out and "objective" in out
+
+
+class TestReporting:
+    def test_render_table_aligns_columns(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["long-name", 123456.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[1:])) == 1  # consistent width
+
+    def test_render_table_with_title(self):
+        text = render_table(["x"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_render_series(self):
+        text = render_series("Figure", {"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])})
+        assert "period" in text
+        assert "Figure" in text
+        assert len(text.splitlines()) == 5
+
+    def test_speedup_summary(self):
+        text = summarize_speedup(2.0, 8.0)
+        assert "x4.00" in text
+        assert "n/a" in summarize_speedup(0.0, 1.0)
+
+
+class TestExperimentRegistry:
+    def test_table1_rows_match_case_sizes(self):
+        rows = table1(["case9", "case3"])
+        by_name = {r["case"]: r for r in rows}
+        assert by_name["case9"]["buses"] == 9
+        assert by_name["case9"]["branches"] == 9
+        assert by_name["case9"]["generators"] == 3
+        assert by_name["case3"]["buses"] == 3
+        assert by_name["case9"]["rho_pq"] > 0
+
+    def test_render_table1(self):
+        text = render_table1(["case9"])
+        assert "case9" in text and "Table I" in text
+
+    def test_paper_sized_registry_entries_exist(self):
+        from repro.grid.cases import PAPER_SYSTEM_SIZES, available_cases
+        names = available_cases()
+        for paper_name in PAPER_SYSTEM_SIZES:
+            assert f"{paper_name}_like" in names

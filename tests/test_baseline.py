@@ -1,0 +1,180 @@
+"""Tests for the centralized interior-point baseline and the ACOPF NLP."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+from scipy.optimize import minimize
+
+from repro.baseline import InteriorPointOptions, solve_acopf_ipm, solve_nlp
+from repro.baseline.acopf_nlp import AcopfNlp
+from repro.baseline.nlp import QuadraticProgram
+from repro.baseline.scipy_solver import solve_acopf_scipy
+from repro.grid.cases import load_case
+
+
+def simple_qp(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    q = a @ a.T + np.eye(n)
+    c = rng.normal(size=n)
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    g_ineq = np.vstack([np.eye(n)[0]])
+    d_ineq = np.array([0.8])
+    xl = np.full(n, -2.0)
+    xu = np.full(n, 2.0)
+    return QuadraticProgram(q=q, c=c, a_eq=a_eq, b_eq=b_eq, g_ineq=g_ineq,
+                            d_ineq=d_ineq, xl=xl, xu=xu)
+
+
+class TestInteriorPointOnQps:
+    def test_matches_scipy_on_equality_constrained_qp(self):
+        qp = simple_qp()
+        result = solve_nlp(qp)
+        assert result.converged
+
+        ref = minimize(qp.objective, qp.initial_point(), jac=qp.gradient,
+                       method="SLSQP",
+                       bounds=list(zip(qp.xl, qp.xu)),
+                       constraints=[{"type": "eq", "fun": qp.equality_constraints},
+                                    {"type": "ineq",
+                                     "fun": lambda x: -(qp.inequality_constraints(x))}])
+        assert np.isclose(result.objective, ref.fun, rtol=1e-4, atol=1e-5)
+        assert np.allclose(result.x, ref.x, atol=1e-3)
+
+    def test_feasibility_at_solution(self):
+        qp = simple_qp(seed=3)
+        result = solve_nlp(qp)
+        assert abs(qp.equality_constraints(result.x)[0]) < 1e-6
+        assert np.all(qp.inequality_constraints(result.x) < 1e-6)
+        assert np.all(result.x >= qp.xl - 1e-8)
+        assert np.all(result.x <= qp.xu + 1e-8)
+
+    def test_iteration_limit_reported(self):
+        qp = simple_qp(seed=5)
+        result = solve_nlp(qp, options=InteriorPointOptions(max_iter=2))
+        assert result.iterations <= 2
+        assert not result.converged
+
+    def test_history_recorded(self):
+        result = solve_nlp(simple_qp())
+        assert len(result.history) == result.iterations
+        assert {"objective", "feasibility"} <= set(result.history[0])
+
+
+class TestAcopfNlp:
+    @pytest.fixture(scope="class")
+    def nlp(self):
+        return AcopfNlp(load_case("case9"))
+
+    def test_dimensions(self, nlp):
+        assert nlp.n == 2 * 9 + 2 * 3
+        assert nlp.equality_constraints(nlp.initial_point()).shape == (18,)
+        assert nlp.inequality_constraints(nlp.initial_point()).shape == (18,)
+
+    def test_reference_angle_pinned(self, nlp):
+        lb, ub = nlp.bounds()
+        ref = nlp.network.ref_bus
+        assert lb[ref] == 0.0 and ub[ref] == 0.0
+
+    def test_objective_and_gradient(self, nlp, rng):
+        x = nlp.initial_point() + rng.normal(scale=0.01, size=nlp.n)
+        grad = nlp.gradient(x)
+        eps = 1e-7
+        for k in rng.choice(nlp.n, size=8, replace=False):
+            xp = x.copy()
+            xm = x.copy()
+            xp[k] += eps
+            xm[k] -= eps
+            fd = (nlp.objective(xp) - nlp.objective(xm)) / (2 * eps)
+            assert np.isclose(grad[k], fd, rtol=1e-5, atol=1e-6)
+
+    def test_equality_jacobian_matches_finite_differences(self, nlp, rng):
+        x = nlp.initial_point() + rng.normal(scale=0.02, size=nlp.n)
+        jac = nlp.equality_jacobian(x).toarray()
+        eps = 1e-6
+        for k in rng.choice(nlp.n, size=10, replace=False):
+            xp = x.copy()
+            xm = x.copy()
+            xp[k] += eps
+            xm[k] -= eps
+            fd = (nlp.equality_constraints(xp) - nlp.equality_constraints(xm)) / (2 * eps)
+            assert np.allclose(jac[:, k], fd, atol=1e-5)
+
+    def test_inequality_jacobian_matches_finite_differences(self, nlp, rng):
+        x = nlp.initial_point() + rng.normal(scale=0.02, size=nlp.n)
+        jac = nlp.inequality_jacobian(x).toarray()
+        eps = 1e-6
+        for k in rng.choice(nlp.n, size=10, replace=False):
+            xp = x.copy()
+            xm = x.copy()
+            xp[k] += eps
+            xm[k] -= eps
+            fd = (nlp.inequality_constraints(xp) - nlp.inequality_constraints(xm)) / (2 * eps)
+            assert np.allclose(jac[:, k], fd, atol=1e-5)
+
+    def test_lagrangian_hessian_matches_finite_differences(self, nlp, rng):
+        x = nlp.initial_point() + rng.normal(scale=0.02, size=nlp.n)
+        lam = rng.normal(size=18)
+        mu = np.abs(rng.normal(size=18))
+        hess = nlp.lagrangian_hessian(x, lam, mu).toarray()
+        assert np.allclose(hess, hess.T, atol=1e-10)
+
+        def lagrangian_grad(xv):
+            return (nlp.gradient(xv) + nlp.equality_jacobian(xv).T @ lam
+                    + nlp.inequality_jacobian(xv).T @ mu)
+
+        eps = 1e-6
+        for k in rng.choice(nlp.n, size=8, replace=False):
+            xp = x.copy()
+            xm = x.copy()
+            xp[k] += eps
+            xm[k] -= eps
+            fd = (lagrangian_grad(xp) - lagrangian_grad(xm)) / (2 * eps)
+            assert np.allclose(hess[:, k], fd, rtol=1e-4, atol=1e-4)
+
+    def test_unpack_shapes(self, nlp):
+        parts = nlp.unpack(nlp.initial_point())
+        assert parts["vm"].shape == (9,)
+        assert parts["pg"].shape == (3,)
+
+    def test_line_limits_can_be_disabled(self):
+        nlp = AcopfNlp(load_case("case9"), enforce_line_limits=False)
+        assert nlp.inequality_constraints(nlp.initial_point()).size == 0
+        assert nlp.inequality_jacobian(nlp.initial_point()).shape[0] == 0
+
+
+class TestAcopfSolves:
+    def test_case9_matches_known_optimum(self):
+        solution = solve_acopf_ipm(load_case("case9"))
+        assert solution.converged
+        # The MATPOWER-published ACOPF objective for case9 is 5296.69 $/h.
+        assert np.isclose(solution.objective, 5296.69, rtol=2e-3)
+        assert solution.max_constraint_violation < 1e-5
+
+    def test_case3_feasible_and_cheap(self, case3):
+        solution = solve_acopf_ipm(case3)
+        assert solution.converged
+        assert solution.max_constraint_violation < 1e-5
+        assert solution.objective > 0
+
+    def test_synthetic_case_solves(self, small_synthetic):
+        solution = solve_acopf_ipm(small_synthetic)
+        assert solution.converged
+        assert solution.max_constraint_violation < 1e-4
+
+    def test_voltage_bounds_respected(self, case9):
+        solution = solve_acopf_ipm(case9)
+        assert np.all(solution.vm <= case9.bus_vmax + 1e-6)
+        assert np.all(solution.vm >= case9.bus_vmin - 1e-6)
+
+    def test_warm_start_accepts_previous_point(self, case3):
+        first = solve_acopf_ipm(case3)
+        second = solve_acopf_ipm(case3, x0=first.as_warm_start())
+        assert second.converged
+        assert np.isclose(second.objective, first.objective, rtol=1e-4)
+
+    def test_scipy_cross_check_agrees(self, case3):
+        ipm = solve_acopf_ipm(case3)
+        ref = solve_acopf_scipy(case3, max_iter=200)
+        assert np.isclose(ipm.objective, ref.objective, rtol=5e-3)

@@ -1,0 +1,143 @@
+"""Tests for the shared per-branch flow derivatives.
+
+These derivatives feed three different solvers, so they get the heaviest
+property-based scrutiny in the suite: values must agree with a complex-power
+reference computation, and gradients/Hessians must match finite differences
+for arbitrary voltage states.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.cases import load_case
+from repro.powerflow.branch_derivatives import (
+    all_flow_values,
+    branch_quantities,
+    quantity_value,
+    quantity_value_grad,
+    quantity_value_grad_hess,
+)
+
+CASE9 = load_case("case9")
+QUANTITIES = branch_quantities(CASE9)
+
+voltage_state = st.tuples(
+    st.floats(min_value=0.9, max_value=1.1),
+    st.floats(min_value=0.9, max_value=1.1),
+    st.floats(min_value=-0.5, max_value=0.5),
+    st.floats(min_value=-0.5, max_value=0.5),
+)
+
+
+def _reference_flows(network, vi, vj, ti, tj):
+    """Complex-power reference: S_from = V_f conj(Yff V_f + Yft V_t)."""
+    vf = vi * np.exp(1j * ti)
+    vt = vj * np.exp(1j * tj)
+    yff = network.branch_g_ii + 1j * network.branch_b_ii
+    yft = network.branch_g_ij + 1j * network.branch_b_ij
+    ytf = network.branch_g_ji + 1j * network.branch_b_ji
+    ytt = network.branch_g_jj + 1j * network.branch_b_jj
+    s_from = vf * np.conj(yff * vf + yft * vt)
+    s_to = vt * np.conj(ytf * vf + ytt * vt)
+    return s_from.real, s_from.imag, s_to.real, s_to.imag
+
+
+class TestValues:
+    def test_matches_complex_power_reference(self, rng):
+        nl = CASE9.n_branch
+        vi = rng.uniform(0.9, 1.1, nl)
+        vj = rng.uniform(0.9, 1.1, nl)
+        ti = rng.uniform(-0.4, 0.4, nl)
+        tj = rng.uniform(-0.4, 0.4, nl)
+        pij, qij, pji, qji = all_flow_values(QUANTITIES, vi, vj, ti, tj)
+        rp, rq, rpj, rqj = _reference_flows(CASE9, vi, vj, ti, tj)
+        assert np.allclose(pij, rp)
+        assert np.allclose(qij, rq)
+        assert np.allclose(pji, rpj)
+        assert np.allclose(qji, rqj)
+
+    def test_zero_angle_symmetric_voltage(self):
+        # With equal voltages and zero angle difference, the series branch
+        # carries only the charging/shunt reactive component.
+        nl = CASE9.n_branch
+        ones = np.ones(nl)
+        zeros = np.zeros(nl)
+        pij, _, pji, _ = all_flow_values(QUANTITIES, ones, ones, zeros, zeros)
+        # Lossless (r=0) untapped lines carry no real power at zero angle.
+        lossless = np.isclose(CASE9.branch_g_ij, 0.0)
+        untapped = np.array([br.tap in (0, 0.0) for br in CASE9.live_branches])
+        sel = lossless & untapped
+        assert np.allclose(pij[sel], 0.0, atol=1e-12)
+        assert np.allclose(pji[sel], 0.0, atol=1e-12)
+
+    def test_take_subsets_branches(self):
+        idx = np.array([0, 3, 5])
+        sub = QUANTITIES.take(idx)
+        assert len(sub) == 3
+        assert np.allclose(sub.pij.k_i, QUANTITIES.pij.k_i[idx])
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("name", ["pij", "qij", "pji", "qji"])
+    def test_gradient_matches_finite_differences(self, name, rng):
+        coeff = getattr(QUANTITIES, name)
+        nl = len(coeff)
+        state = [rng.uniform(0.9, 1.1, nl), rng.uniform(0.9, 1.1, nl),
+                 rng.uniform(-0.4, 0.4, nl), rng.uniform(-0.4, 0.4, nl)]
+        _, grad = quantity_value_grad(coeff, *state)
+        eps = 1e-6
+        for k in range(4):
+            plus = [s.copy() for s in state]
+            minus = [s.copy() for s in state]
+            plus[k] += eps
+            minus[k] -= eps
+            fd = (quantity_value(coeff, *plus) - quantity_value(coeff, *minus)) / (2 * eps)
+            assert np.allclose(grad[:, k], fd, atol=1e-6)
+
+    @pytest.mark.parametrize("name", ["pij", "qij", "pji", "qji"])
+    def test_hessian_matches_finite_differences(self, name, rng):
+        coeff = getattr(QUANTITIES, name)
+        nl = len(coeff)
+        state = [rng.uniform(0.9, 1.1, nl), rng.uniform(0.9, 1.1, nl),
+                 rng.uniform(-0.4, 0.4, nl), rng.uniform(-0.4, 0.4, nl)]
+        _, _, hess = quantity_value_grad_hess(coeff, *state)
+        eps = 1e-6
+        for k in range(4):
+            plus = [s.copy() for s in state]
+            minus = [s.copy() for s in state]
+            plus[k] += eps
+            minus[k] -= eps
+            _, gp = quantity_value_grad(coeff, *plus)
+            _, gm = quantity_value_grad(coeff, *minus)
+            fd = (gp - gm) / (2 * eps)
+            assert np.allclose(hess[:, k, :], fd, atol=1e-5)
+
+    def test_hessian_symmetry(self, rng):
+        nl = CASE9.n_branch
+        state = [rng.uniform(0.9, 1.1, nl), rng.uniform(0.9, 1.1, nl),
+                 rng.uniform(-0.4, 0.4, nl), rng.uniform(-0.4, 0.4, nl)]
+        for coeff in QUANTITIES.as_tuple():
+            _, _, hess = quantity_value_grad_hess(coeff, *state)
+            assert np.allclose(hess, np.transpose(hess, (0, 2, 1)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(voltage_state)
+    def test_consistency_between_value_functions(self, state):
+        vi, vj, ti, tj = (np.full(CASE9.n_branch, s) for s in state)
+        for coeff in QUANTITIES.as_tuple():
+            val0 = quantity_value(coeff, vi, vj, ti, tj)
+            val1, _ = quantity_value_grad(coeff, vi, vj, ti, tj)
+            val2, _, _ = quantity_value_grad_hess(coeff, vi, vj, ti, tj)
+            assert np.allclose(val0, val1)
+            assert np.allclose(val0, val2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(voltage_state)
+    def test_global_angle_shift_invariance(self, state):
+        vi, vj, ti, tj = (np.full(CASE9.n_branch, s) for s in state)
+        shift = 0.7
+        for coeff in QUANTITIES.as_tuple():
+            base = quantity_value(coeff, vi, vj, ti, tj)
+            shifted = quantity_value(coeff, vi, vj, ti + shift, tj + shift)
+            assert np.allclose(base, shifted, atol=1e-12)

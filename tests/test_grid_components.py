@@ -1,0 +1,84 @@
+"""Unit tests for the plain-data grid component records."""
+
+import numpy as np
+import pytest
+
+from repro.grid.components import Branch, Bus, BusType, CostModel, Generator, GeneratorCost
+
+
+class TestBus:
+    def test_defaults(self):
+        bus = Bus(index=1)
+        assert bus.bus_type == BusType.PQ
+        assert bus.pd == 0.0
+        assert bus.vmax > bus.vmin
+
+    def test_bus_type_coerced_from_int(self):
+        bus = Bus(index=4, bus_type=3)
+        assert bus.bus_type is BusType.REF
+
+    def test_invalid_bus_type_raises(self):
+        with pytest.raises(ValueError):
+            Bus(index=1, bus_type=9)
+
+
+class TestGenerator:
+    def test_in_service_flag(self):
+        assert Generator(bus=1, status=1).in_service
+        assert not Generator(bus=1, status=0).in_service
+
+    def test_defaults_are_wide_bounds(self):
+        gen = Generator(bus=2)
+        assert gen.pmin <= gen.pmax
+        assert gen.qmin <= gen.qmax
+
+
+class TestBranch:
+    def test_turns_ratio_zero_means_one(self):
+        assert Branch(from_bus=1, to_bus=2).turns_ratio == 1.0
+
+    def test_turns_ratio_explicit(self):
+        assert Branch(from_bus=1, to_bus=2, tap=0.98).turns_ratio == 0.98
+
+    def test_in_service(self):
+        assert Branch(from_bus=1, to_bus=2).in_service
+        assert not Branch(from_bus=1, to_bus=2, status=0).in_service
+
+
+class TestGeneratorCost:
+    def test_quadratic_passthrough(self):
+        cost = GeneratorCost(coefficients=(0.11, 5.0, 150.0))
+        assert cost.as_quadratic() == (0.11, 5.0, 150.0)
+
+    def test_linear_cost_padded(self):
+        cost = GeneratorCost(coefficients=(14.0, 0.0))
+        c2, c1, c0 = cost.as_quadratic()
+        assert c2 == 0.0
+        assert c1 == 14.0
+        assert c0 == 0.0
+
+    def test_constant_cost_padded(self):
+        cost = GeneratorCost(coefficients=(42.0,))
+        assert cost.as_quadratic() == (0.0, 0.0, 42.0)
+
+    def test_cubic_truncated_to_quadratic(self):
+        cost = GeneratorCost(coefficients=(1e-6, 0.2, 3.0, 100.0))
+        c2, c1, c0 = cost.as_quadratic()
+        assert (c2, c1, c0) == (0.2, 3.0, 100.0)
+
+    def test_piecewise_linear_fit_recovers_line(self):
+        # Breakpoints on an exact line y = 10 x + 5 must fit with c2 ~ 0.
+        cost = GeneratorCost(model=CostModel.PIECEWISE_LINEAR,
+                             coefficients=(0.0, 5.0, 10.0, 105.0, 20.0, 205.0))
+        c2, c1, c0 = cost.as_quadratic()
+        assert abs(c2) < 1e-9
+        assert np.isclose(c1, 10.0)
+        assert np.isclose(c0, 5.0)
+
+    def test_piecewise_linear_single_point(self):
+        cost = GeneratorCost(model=CostModel.PIECEWISE_LINEAR, coefficients=(5.0, 123.0))
+        assert cost.as_quadratic() == (0.0, 0.0, 123.0)
+
+    def test_coefficients_are_floats(self):
+        cost = GeneratorCost(coefficients=(1, 2, 3))
+        assert all(isinstance(c, float) for c in cost.coefficients)

@@ -1,0 +1,82 @@
+"""Tests for the MATPOWER case parser and writer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.grid.cases import CASE9_TEXT
+from repro.grid.components import CostModel
+from repro.grid.matpower import case_to_text, parse_case_text, read_case, write_case
+
+
+class TestParsing:
+    def test_case9_counts(self):
+        net = parse_case_text(CASE9_TEXT, name="case9")
+        assert net.n_bus == 9
+        assert net.n_branch == 9
+        assert net.n_gen == 3
+        assert net.base_mva == 100.0
+
+    def test_case9_loads(self):
+        net = parse_case_text(CASE9_TEXT)
+        loads = {bus.index: bus.pd for bus in net.buses}
+        assert loads[5] == 90.0 and loads[7] == 100.0 and loads[9] == 125.0
+
+    def test_case9_costs(self):
+        net = parse_case_text(CASE9_TEXT)
+        assert net.costs[0].model == CostModel.POLYNOMIAL
+        assert net.costs[0].as_quadratic() == (0.11, 5.0, 150.0)
+
+    def test_comments_are_ignored(self):
+        text = CASE9_TEXT.replace("mpc.baseMVA = 100;",
+                                  "% a comment line\nmpc.baseMVA = 100; % trailing")
+        net = parse_case_text(text)
+        assert net.base_mva == 100.0
+
+    def test_missing_matrix_raises(self):
+        with pytest.raises(DataError, match="missing"):
+            parse_case_text("function mpc = x\nmpc.baseMVA = 100;\nmpc.bus = [1 3 0 0 0 0 1 1 0 345 1 1.1 0.9;];")
+
+    def test_commas_as_separators(self):
+        text = CASE9_TEXT.replace("\t1\t3\t0\t0\t0\t0\t1\t1\t0\t345\t1\t1.1\t0.9;",
+                                  "1, 3, 0, 0, 0, 0, 1, 1, 0, 345, 1, 1.1, 0.9;")
+        net = parse_case_text(text)
+        assert net.n_bus == 9
+
+    def test_gencost_defaults_when_absent(self):
+        import re
+        text = re.sub(r"mpc\.gencost = \[.*?\];", "", CASE9_TEXT, flags=re.DOTALL)
+        net = parse_case_text(text)
+        assert len(net.costs) == net.n_gen
+        assert net.costs[0].as_quadratic() == (0.0, 0.0, 0.0)
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self, case9):
+        text = case_to_text(case9)
+        reparsed = parse_case_text(text, name="case9rt")
+        assert np.allclose(reparsed.bus_pd, case9.bus_pd)
+        assert np.allclose(reparsed.bus_qd, case9.bus_qd)
+        assert np.allclose(reparsed.branch_g_ii, case9.branch_g_ii)
+        assert np.allclose(reparsed.branch_b_ij, case9.branch_b_ij)
+        assert np.allclose(reparsed.gen_pmax, case9.gen_pmax)
+        assert np.allclose(reparsed.gen_cost_c2, case9.gen_cost_c2)
+
+    def test_synthetic_round_trip(self, small_synthetic):
+        text = case_to_text(small_synthetic)
+        reparsed = parse_case_text(text, name="rt")
+        assert reparsed.n_bus == small_synthetic.n_bus
+        assert reparsed.n_branch == small_synthetic.n_branch
+        assert np.allclose(reparsed.branch_rate_a, small_synthetic.branch_rate_a)
+        assert np.allclose(reparsed.gen_cost_c1, small_synthetic.gen_cost_c1, rtol=1e-6)
+
+    def test_file_round_trip(self, tmp_path, case9):
+        path = write_case(case9, tmp_path / "case9_copy.m")
+        reloaded = read_case(path)
+        assert reloaded.name == "case9_copy"
+        assert reloaded.n_bus == 9
+        assert np.allclose(reloaded.bus_pd, case9.bus_pd)
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="does not exist"):
+            read_case(tmp_path / "nope.m")

@@ -1,0 +1,175 @@
+"""Unit tests for the Network container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.grid.components import Branch, Bus, BusType, Generator, GeneratorCost
+from repro.grid.network import Network
+
+
+def tiny_components():
+    buses = [Bus(index=1, bus_type=BusType.REF), Bus(index=2, pd=50.0, qd=10.0)]
+    branches = [Branch(from_bus=1, to_bus=2, r=0.01, x=0.1, b=0.02, rate_a=100.0)]
+    generators = [Generator(bus=1, pmax=100.0, pmin=0.0, qmax=50.0, qmin=-50.0)]
+    costs = [GeneratorCost(coefficients=(0.1, 10.0, 0.0))]
+    return buses, branches, generators, costs
+
+
+class TestConstruction:
+    def test_basic_counts(self, case9):
+        assert case9.n_bus == 9
+        assert case9.n_branch == 9
+        assert case9.n_gen == 3
+        assert case9.n_gen_active == 3
+
+    def test_per_unit_loads(self, case9):
+        # Bus 5 has 90 MW / 30 MVAr on a 100 MVA base.
+        idx = case9.bus_index_map[5]
+        assert np.isclose(case9.bus_pd[idx], 0.9)
+        assert np.isclose(case9.bus_qd[idx], 0.3)
+
+    def test_cost_conversion_to_per_unit(self, case9):
+        # cost(p_pu) must equal cost(p_MW) for the same physical power.
+        p_mw = 100.0
+        p_pu = 1.0
+        cost_mw = 0.11 * p_mw ** 2 + 5 * p_mw + 150
+        assert np.isclose(case9.gen_cost_c2[0] * p_pu ** 2
+                          + case9.gen_cost_c1[0] * p_pu + case9.gen_cost_c0[0], cost_mw)
+
+    def test_reference_bus(self, case9):
+        assert case9.bus_type[case9.ref_bus] == int(BusType.REF)
+
+    def test_from_components_synthesises_costs(self):
+        buses, branches, generators, _ = tiny_components()
+        net = Network.from_components("tiny", 100.0, buses, branches, generators)
+        assert len(net.costs) == len(generators)
+
+    def test_admittance_matches_direct_computation(self, case9):
+        # Branch 4-5: r=0.017, x=0.092, b=0.158, no transformer.
+        live = case9.live_branches
+        idx = next(i for i, br in enumerate(live) if br.from_bus == 4 and br.to_bus == 5)
+        r, x, b = 0.017, 0.092, 0.158
+        ys = 1.0 / complex(r, x)
+        ytt = ys + 0.5j * b
+        assert np.isclose(case9.branch_g_jj[idx], ytt.real)
+        assert np.isclose(case9.branch_b_jj[idx], ytt.imag)
+        assert np.isclose(case9.branch_g_ij[idx], (-ys).real)
+        assert np.isclose(case9.branch_b_ij[idx], (-ys).imag)
+
+    def test_transformer_scaling(self):
+        buses, branches, generators, costs = tiny_components()
+        branches[0].tap = 0.95
+        net = Network("xfmr", 100.0, buses, branches, generators, costs)
+        ys = 1.0 / complex(0.01, 0.1)
+        ytt = ys + 0.5j * 0.02
+        assert np.isclose(net.branch_g_ii[0], (ytt / 0.95 ** 2).real)
+        assert np.isclose(net.branch_g_jj[0], ytt.real)
+
+    def test_adjacency_lists(self, case9):
+        # Every branch end appears exactly once in the incidence lists.
+        total = sum(len(ends) for ends in case9.lines_at_bus)
+        assert total == 2 * case9.n_branch
+        for g, bus in enumerate(case9.gen_bus):
+            assert g in case9.gens_at_bus[bus]
+
+    def test_unlimited_branch_flagged(self):
+        buses, branches, generators, costs = tiny_components()
+        branches[0].rate_a = 0.0
+        net = Network("nolimit", 100.0, buses, branches, generators, costs)
+        assert not net.branch_has_limit[0]
+
+
+class TestValidationErrors:
+    def test_duplicate_bus(self):
+        buses, branches, generators, costs = tiny_components()
+        buses.append(Bus(index=1))
+        with pytest.raises(DataError, match="duplicate"):
+            Network("bad", 100.0, buses, branches, generators, costs)
+
+    def test_unknown_branch_bus(self):
+        buses, branches, generators, costs = tiny_components()
+        branches.append(Branch(from_bus=1, to_bus=99, x=0.1))
+        with pytest.raises(DataError, match="unknown bus"):
+            Network("bad", 100.0, buses, branches, generators, costs)
+
+    def test_self_loop(self):
+        buses, branches, generators, costs = tiny_components()
+        branches.append(Branch(from_bus=2, to_bus=2, x=0.1))
+        with pytest.raises(DataError, match="itself"):
+            Network("bad", 100.0, buses, branches, generators, costs)
+
+    def test_zero_impedance(self):
+        buses, branches, generators, costs = tiny_components()
+        branches[0].r = 0.0
+        branches[0].x = 0.0
+        with pytest.raises(DataError, match="zero series impedance"):
+            Network("bad", 100.0, buses, branches, generators, costs)
+
+    def test_missing_reference(self):
+        buses, branches, generators, costs = tiny_components()
+        buses[0].bus_type = BusType.PV
+        with pytest.raises(DataError, match="reference"):
+            Network("bad", 100.0, buses, branches, generators, costs)
+
+    def test_unknown_generator_bus(self):
+        buses, branches, generators, costs = tiny_components()
+        generators.append(Generator(bus=42))
+        costs.append(GeneratorCost())
+        with pytest.raises(DataError, match="unknown bus"):
+            Network("bad", 100.0, buses, branches, generators, costs)
+
+    def test_cost_count_mismatch(self):
+        buses, branches, generators, costs = tiny_components()
+        with pytest.raises(DataError, match="cost"):
+            Network("bad", 100.0, buses, branches, generators, costs + [GeneratorCost()])
+
+    def test_nonpositive_base(self):
+        buses, branches, generators, costs = tiny_components()
+        with pytest.raises(DataError, match="base MVA"):
+            Network("bad", 0.0, buses, branches, generators, costs)
+
+    def test_no_buses(self):
+        with pytest.raises(DataError):
+            Network("bad", 100.0, [], [], [], [])
+
+
+class TestLoadScaling:
+    def test_scalar_scaling(self, case9):
+        scaled = case9.with_scaled_loads(1.05)
+        assert np.allclose(scaled.bus_pd, 1.05 * case9.bus_pd)
+        assert np.allclose(scaled.bus_qd, 1.05 * case9.bus_qd)
+        # Everything else untouched.
+        assert np.allclose(scaled.gen_pmax, case9.gen_pmax)
+        assert scaled.n_branch == case9.n_branch
+
+    def test_per_bus_scaling(self, case9):
+        factors = np.linspace(0.9, 1.1, case9.n_bus)
+        scaled = case9.with_scaled_loads(factors)
+        assert np.allclose(scaled.bus_pd, factors * case9.bus_pd)
+
+    def test_wrong_length_vector_rejected(self, case9):
+        with pytest.raises(DataError):
+            case9.with_scaled_loads(np.ones(3))
+
+    def test_original_unmodified(self, case9):
+        before = case9.bus_pd.copy()
+        case9.with_scaled_loads(2.0)
+        assert np.array_equal(case9.bus_pd, before)
+
+
+class TestDerivedQuantities:
+    def test_total_load(self, case9):
+        p, q = case9.total_load()
+        assert np.isclose(p, (90 + 100 + 125) / 100.0)
+        assert np.isclose(q, (30 + 35 + 50) / 100.0)
+
+    def test_generation_cost_matches_manual(self, case9):
+        pg = np.array([0.8, 1.2, 0.9])
+        manual = sum(case9.gen_cost_c2[i] * pg[i] ** 2 + case9.gen_cost_c1[i] * pg[i]
+                     + case9.gen_cost_c0[i] for i in range(3))
+        assert np.isclose(case9.generation_cost(pg), manual)
+
+    def test_summary_mentions_counts(self, case9):
+        text = case9.summary()
+        assert "9 buses" in text and "3 generators" in text

@@ -1,0 +1,78 @@
+"""Tests for the synthetic grid generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.grid.synthetic import make_synthetic_grid
+from repro.grid.validation import connected_components, validate_network
+
+
+class TestStructure:
+    def test_requested_counts(self):
+        net = make_synthetic_grid(n_bus=50, n_gen=10, n_branch=70, seed=1)
+        assert net.n_bus == 50
+        assert net.n_gen == 10
+        assert net.n_branch == 70
+
+    def test_default_counts_follow_style_ratios(self):
+        net = make_synthetic_grid(n_bus=200, style="pegase", seed=2)
+        assert 200 * 1.3 < net.n_branch < 200 * 1.7
+        assert 0.1 * 200 < net.n_gen < 0.3 * 200
+
+    def test_connected(self):
+        net = make_synthetic_grid(n_bus=120, seed=3)
+        assert len(connected_components(net)) == 1
+
+    def test_validates(self):
+        net = make_synthetic_grid(n_bus=80, seed=4)
+        report = validate_network(net)
+        assert report.ok, report.errors
+
+    def test_slack_bus_has_generator(self):
+        net = make_synthetic_grid(n_bus=40, seed=5)
+        assert net.gens_at_bus[net.ref_bus]
+
+    def test_capacity_margin(self):
+        net = make_synthetic_grid(n_bus=60, seed=6)
+        load, _ = net.total_load()
+        assert net.gen_pmax[net.gen_status].sum() > 1.2 * load
+
+    def test_activsg_style(self):
+        net = make_synthetic_grid(n_bus=90, style="activsg", seed=7)
+        assert net.n_bus == 90
+        assert validate_network(net).ok
+
+    def test_paper_scale_counts(self):
+        # The registry builds full-size analogues of the paper's systems; the
+        # generator must honour exact counts at that scale too.
+        net = make_synthetic_grid(n_bus=1354, n_gen=260, n_branch=1991, seed=8)
+        assert (net.n_bus, net.n_gen, net.n_branch) == (1354, 260, 1991)
+
+
+class TestDeterminism:
+    def test_same_seed_same_grid(self):
+        a = make_synthetic_grid(n_bus=40, seed=11)
+        b = make_synthetic_grid(n_bus=40, seed=11)
+        assert np.array_equal(a.bus_pd, b.bus_pd)
+        assert np.array_equal(a.branch_from, b.branch_from)
+        assert np.array_equal(a.gen_cost_c1, b.gen_cost_c1)
+
+    def test_different_seed_different_grid(self):
+        a = make_synthetic_grid(n_bus=40, seed=11)
+        b = make_synthetic_grid(n_bus=40, seed=12)
+        assert not np.array_equal(a.bus_pd, b.bus_pd)
+
+
+class TestErrors:
+    def test_too_few_buses(self):
+        with pytest.raises(DataError):
+            make_synthetic_grid(n_bus=1)
+
+    def test_unknown_style(self):
+        with pytest.raises(DataError, match="style"):
+            make_synthetic_grid(n_bus=10, style="martian")
+
+    def test_too_few_branches(self):
+        with pytest.raises(DataError, match="branches"):
+            make_synthetic_grid(n_bus=20, n_branch=5)

@@ -1,0 +1,96 @@
+"""Tests for network validation and per-unit helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid import perunit
+from repro.grid.components import Branch, Bus, BusType, Generator, GeneratorCost
+from repro.grid.network import Network
+from repro.grid.validation import connected_components, validate_network
+
+
+def island_network():
+    """Two disconnected 2-bus islands (invalid)."""
+    buses = [Bus(index=i, bus_type=BusType.REF if i == 1 else BusType.PQ, pd=10.0)
+             for i in range(1, 5)]
+    branches = [Branch(from_bus=1, to_bus=2, x=0.1),
+                Branch(from_bus=3, to_bus=4, x=0.1)]
+    gens = [Generator(bus=1, pmax=100.0)]
+    return Network("islands", 100.0, buses, branches, gens, [GeneratorCost()])
+
+
+class TestValidation:
+    def test_ok_network(self, case9):
+        assert validate_network(case9).ok
+
+    def test_detects_islands(self):
+        report = validate_network(island_network())
+        assert not report.ok
+        assert any("island" in e for e in report.errors)
+
+    def test_connected_components_counts(self):
+        comps = connected_components(island_network())
+        assert len(comps) == 2
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_detects_capacity_shortfall(self):
+        buses = [Bus(index=1, bus_type=BusType.REF), Bus(index=2, pd=500.0, qd=0.0)]
+        branches = [Branch(from_bus=1, to_bus=2, x=0.1)]
+        gens = [Generator(bus=1, pmax=100.0)]
+        net = Network("short", 100.0, buses, branches, gens, [GeneratorCost()])
+        report = validate_network(net)
+        assert any("capacity" in e for e in report.errors)
+
+    def test_detects_reference_without_generator(self, case9):
+        buses = [Bus(index=1, bus_type=BusType.REF), Bus(index=2, pd=10.0)]
+        branches = [Branch(from_bus=1, to_bus=2, x=0.1)]
+        gens = [Generator(bus=2, pmax=100.0)]
+        net = Network("norefgen", 100.0, buses, branches, gens, [GeneratorCost()])
+        report = validate_network(net)
+        assert any("reference" in w for w in report.warnings)
+
+    def test_report_string(self):
+        report = validate_network(island_network())
+        assert "errors" in str(report)
+
+
+class TestPerUnit:
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+           st.floats(min_value=1.0, max_value=1000.0))
+    def test_power_round_trip(self, mw, base):
+        pu = perunit.mw_to_pu(mw, base)
+        assert np.isclose(perunit.pu_to_mw(pu, base), mw, atol=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=1e3, allow_nan=False),
+           st.floats(min_value=10.0, max_value=765.0),
+           st.floats(min_value=1.0, max_value=1000.0))
+    def test_impedance_round_trip(self, ohms, kv, base):
+        z = perunit.impedance_to_pu(ohms, kv, base)
+        assert np.isclose(perunit.impedance_from_pu(z, kv, base), ohms, rtol=1e-12)
+
+    def test_angle_round_trip(self):
+        deg = np.array([0.0, 30.0, -90.0, 180.0])
+        assert np.allclose(perunit.radians_to_degrees(perunit.degrees_to_radians(deg)), deg)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.0, max_value=1000.0))
+    def test_cost_coefficient_round_trip(self, c2, c1, c0):
+        base = 100.0
+        pu = perunit.cost_coefficients_to_pu(c2, c1, c0, base)
+        back = perunit.cost_coefficients_from_pu(*pu, base)
+        assert np.allclose(back, (c2, c1, c0))
+
+    def test_cost_conversion_preserves_value(self):
+        c2, c1, c0 = 0.11, 5.0, 150.0
+        base = 100.0
+        c2p, c1p, c0p = perunit.cost_coefficients_to_pu(c2, c1, c0, base)
+        p_mw, p_pu = 80.0, 0.8
+        assert np.isclose(c2 * p_mw ** 2 + c1 * p_mw + c0,
+                          c2p * p_pu ** 2 + c1p * p_pu + c0p)
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            perunit.mw_to_pu(10.0, 0.0)
+        with pytest.raises(ValueError):
+            perunit.pu_to_mw(10.0, -5.0)

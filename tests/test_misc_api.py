@@ -1,0 +1,89 @@
+"""Tests for the package surface: case registry, exceptions, logging, CLI."""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.experiments import bench_cases, bench_tracking_periods, main
+from repro.exceptions import CaseNotFoundError, ConvergenceError, ReproError
+from repro.grid.cases import available_cases, load_case, register_case
+from repro.logging_utils import enable_console_logging, format_table_header, format_table_row, get_logger
+
+
+class TestCaseRegistry:
+    def test_available_cases_contains_embedded_and_synthetic(self):
+        names = available_cases()
+        assert {"case3", "case5", "case9"} <= set(names)
+        assert "pegase118_like" in names
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(CaseNotFoundError):
+            load_case("case_of_beer")
+
+    def test_register_custom_case(self, case3):
+        register_case("my_custom_case", lambda: case3)
+        assert load_case("my_custom_case").n_bus == 3
+
+    def test_load_case_from_path(self, tmp_path, case9):
+        from repro.grid.matpower import write_case
+
+        path = write_case(case9, tmp_path / "c9.m")
+        net = load_case(path)
+        assert net.n_bus == 9
+
+
+class TestPublicApi:
+    def test_version_and_all(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_top_level_solvers_exposed(self, case3):
+        solution = repro.solve_acopf_ipm(case3)
+        assert solution.objective > 0
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(CaseNotFoundError, ReproError)
+        assert issubclass(ConvergenceError, ReproError)
+
+    def test_convergence_error_carries_context(self):
+        err = ConvergenceError("nope", iterations=7, residual=0.5)
+        assert err.iterations == 7
+        assert err.residual == 0.5
+
+
+class TestLoggingUtils:
+    def test_get_logger_namespacing(self):
+        assert get_logger("admm").name == "repro.admm"
+        assert get_logger().name == "repro"
+
+    def test_enable_console_logging_idempotent(self):
+        enable_console_logging(logging.WARNING)
+        handlers_before = len(get_logger().handlers)
+        enable_console_logging(logging.WARNING)
+        assert len(get_logger().handlers) == handlers_before
+
+    def test_table_formatting(self):
+        header = format_table_header(["a", "b"], [6, 10])
+        row = format_table_row([1, 2.5], [6, 10])
+        assert len(header.split()) == 2
+        assert "2.500e+00" in row
+
+
+class TestBenchmarkConfiguration:
+    def test_bench_cases_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CASES", "case3,case9")
+        assert bench_cases() == ["case3", "case9"]
+
+    def test_bench_periods_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PERIODS", "4")
+        assert bench_tracking_periods() == 4
+
+    def test_cli_table1(self, capsys):
+        assert main(["table1", "--cases", "case9"]) == 0
+        out = capsys.readouterr().out
+        assert "case9" in out and "Table I" in out

@@ -1,0 +1,100 @@
+"""Tests for the simulated device layer and kernel helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.parallel import SimulatedDevice, elementwise_kernel, launch_over_elements
+from repro.parallel.kernels import scatter_add, segment_sum
+
+
+class TestSimulatedDevice:
+    def test_launch_returns_value(self):
+        device = SimulatedDevice()
+        assert device.launch("add", lambda a, b: a + b, 2, 3) == 5
+
+    def test_timings_accumulate(self):
+        device = SimulatedDevice()
+        for _ in range(4):
+            device.launch("noop", lambda: None)
+        assert device.kernels["noop"].launches == 4
+        assert device.kernels["noop"].total_seconds >= 0.0
+        assert device.total_kernel_seconds() >= device.kernels["noop"].total_seconds
+
+    def test_exception_still_recorded(self):
+        device = SimulatedDevice()
+        with pytest.raises(ValueError):
+            device.launch("boom", lambda: (_ for _ in ()).throw(ValueError("x")).__next__())
+        assert device.kernels["boom"].launches == 1
+
+    def test_reset(self):
+        device = SimulatedDevice()
+        device.launch("k", lambda: 1)
+        device.reset()
+        assert device.total_kernel_seconds() == 0.0
+        assert not device.kernels
+
+    def test_report_lists_kernels(self):
+        device = SimulatedDevice(name="test-dev")
+        device.launch("alpha", lambda: 1)
+        device.launch("beta", lambda: 2)
+        report = device.report()
+        assert "alpha" in report and "beta" in report and "test-dev" in report
+
+    def test_mean_seconds(self):
+        device = SimulatedDevice()
+        device.launch("k", lambda: sum(range(1000)))
+        rec = device.kernels["k"]
+        assert rec.mean_seconds == pytest.approx(rec.total_seconds)
+
+
+class TestKernels:
+    def test_elementwise_decorator_marks_function(self):
+        @elementwise_kernel
+        def double(x):
+            return 2 * x
+
+        assert double.__elementwise__ is True
+        assert np.array_equal(double(np.arange(3)), np.array([0, 2, 4]))
+
+    def test_launch_over_elements_matches_python_loop(self, rng):
+        def kernel(a, b):
+            return np.clip(a * b + 1.0, 0.0, 5.0)
+
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        vectorised = launch_over_elements(kernel, a, b)
+        looped = launch_over_elements(kernel, a, b, python_loop=True)
+        assert np.allclose(vectorised, looped)
+
+    def test_launch_over_elements_tuple_outputs(self, rng):
+        def kernel(a):
+            return np.sin(a), np.cos(a)
+
+        a = rng.normal(size=20)
+        vec = launch_over_elements(kernel, a)
+        loop = launch_over_elements(kernel, a, python_loop=True)
+        assert np.allclose(vec[0], loop[0])
+        assert np.allclose(vec[1], loop[1])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DimensionError):
+            launch_over_elements(lambda a, b: a + b, np.zeros(3), np.zeros(4))
+
+    def test_no_arrays_rejected(self):
+        with pytest.raises(DimensionError):
+            launch_over_elements(lambda: np.zeros(1))
+
+    def test_segment_sum(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        ids = np.array([0, 1, 0, 2])
+        assert np.allclose(segment_sum(values, ids, 3), [4.0, 2.0, 4.0])
+
+    def test_segment_sum_empty_segment(self):
+        out = segment_sum(np.array([1.0]), np.array([2]), 4)
+        assert np.allclose(out, [0, 0, 1.0, 0])
+
+    def test_scatter_add_accumulates_duplicates(self):
+        target = np.zeros(3)
+        scatter_add(target, np.array([0, 0, 2]), np.array([1.0, 2.0, 5.0]))
+        assert np.allclose(target, [3.0, 0.0, 5.0])

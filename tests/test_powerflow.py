@@ -1,0 +1,135 @@
+"""Tests for Ybus assembly, Newton power flow, DC power flow, and flow metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.grid.cases import load_case
+from repro.grid.components import BusType
+from repro.powerflow import branch_flows, build_ybus, dc_power_flow, solve_power_flow
+from repro.powerflow.flows import line_limit_violation, power_balance_residual
+from repro.powerflow.ybus import bus_injections
+
+
+class TestYbus:
+    def test_shapes(self, case9):
+        ybus, yf, yt = build_ybus(case9)
+        assert ybus.shape == (9, 9)
+        assert yf.shape == (9, 9)
+        assert yt.shape == (9, 9)
+
+    def test_symmetric_for_untapped_network(self, case9):
+        # case9 has no transformers, so Ybus is structurally symmetric.
+        ybus, _, _ = build_ybus(case9)
+        dense = ybus.toarray()
+        assert np.allclose(dense, dense.T)
+
+    def test_row_sums_equal_shunt_for_lossy_lines(self, case3):
+        # Injecting a flat voltage profile of 1 pu gives the total shunt
+        # (charging) generation at each bus as the only net injection.
+        p, q = bus_injections(case3, np.ones(3), np.zeros(3))
+        # case3 has charging susceptance, so q < 0 (capacitive generation)
+        assert np.all(q < 0)
+        assert np.allclose(p, 0.0, atol=1e-6) or np.all(p >= 0)
+
+    def test_bus_injections_match_branch_flow_sums(self, case9, rng):
+        vm = rng.uniform(0.95, 1.05, 9)
+        va = rng.uniform(-0.2, 0.2, 9)
+        p_inj, q_inj = bus_injections(case9, vm, va)
+        flows = branch_flows(case9, vm, va)
+        p_sum = np.zeros(9)
+        q_sum = np.zeros(9)
+        np.add.at(p_sum, case9.branch_from, flows.pij)
+        np.add.at(q_sum, case9.branch_from, flows.qij)
+        np.add.at(p_sum, case9.branch_to, flows.pji)
+        np.add.at(q_sum, case9.branch_to, flows.qji)
+        # case9 has no bus shunts, so injections equal the branch-flow sums.
+        assert np.allclose(p_inj, p_sum, atol=1e-10)
+        assert np.allclose(q_inj, q_sum, atol=1e-10)
+
+
+class TestNewtonPowerFlow:
+    def test_case9_converges(self, case9):
+        result = solve_power_flow(case9)
+        assert result.converged
+        assert result.max_mismatch < 1e-8
+        assert result.iterations <= 10
+
+    def test_case5_converges(self, case5):
+        result = solve_power_flow(case5)
+        assert result.converged
+
+    def test_synthetic_converges(self, small_synthetic):
+        result = solve_power_flow(small_synthetic)
+        assert result.converged
+
+    def test_pq_balance_at_solution(self, case9):
+        result = solve_power_flow(case9)
+        p_res, q_res = power_balance_residual(case9, result.vm, result.va,
+                                              case9.gen_pg0, case9.gen_qg0)
+        pq = np.flatnonzero(case9.bus_type == int(BusType.PQ))
+        assert np.max(np.abs(p_res[pq])) < 1e-8
+        assert np.max(np.abs(q_res[pq])) < 1e-8
+
+    def test_voltage_in_reasonable_range(self, case9):
+        result = solve_power_flow(case9)
+        assert np.all(result.vm > 0.8) and np.all(result.vm < 1.2)
+
+    def test_no_load_gives_near_flat_profile(self, case9):
+        unloaded = case9.with_scaled_loads(0.0)
+        zero_pg = np.zeros(case9.n_gen)
+        result = solve_power_flow(unloaded, pg=zero_pg, qg=zero_pg)
+        assert result.converged
+        # Without load or dispatch, angles stay tiny (only charging flows).
+        assert np.max(np.abs(result.va)) < 0.05
+
+    def test_failure_raises_when_requested(self, case9):
+        hopeless = case9.with_scaled_loads(200.0)  # infeasible loading
+        with pytest.raises(ConvergenceError):
+            solve_power_flow(hopeless, raise_on_failure=True, max_iter=5)
+
+
+class TestDcPowerFlow:
+    def test_reference_angle_is_zero(self, case9):
+        result = dc_power_flow(case9)
+        assert result.va[case9.ref_bus] == 0.0
+
+    def test_flow_balance_at_each_bus(self, case9):
+        result = dc_power_flow(case9)
+        balance = result.injections.copy()
+        np.subtract.at(balance, case9.branch_from, result.flows)
+        np.add.at(balance, case9.branch_to, result.flows)
+        assert np.allclose(balance, 0.0, atol=1e-9)
+
+    def test_explicit_dispatch(self, case9):
+        pg = case9.gen_pg0
+        result = dc_power_flow(case9, pg=pg)
+        assert result.flows.shape == (case9.n_branch,)
+
+
+class TestFlowMetrics:
+    def test_no_violation_for_tiny_flows(self, case9):
+        flows = branch_flows(case9, np.ones(9), np.zeros(9))
+        violation = line_limit_violation(case9, flows)
+        assert np.all(violation >= 0)
+        assert violation.max() < 0.1
+
+    def test_violation_detected_for_large_angle_spread(self, case9):
+        va = np.linspace(0.0, 2.0, 9)
+        flows = branch_flows(case9, np.ones(9), va)
+        violation = line_limit_violation(case9, flows)
+        assert violation.max() > 0.0
+
+    def test_capacity_fraction_tightens(self, case9):
+        va = np.linspace(0.0, 0.7, 9)
+        flows = branch_flows(case9, np.ones(9), va)
+        loose = line_limit_violation(case9, flows, capacity_fraction=1.0)
+        tight = line_limit_violation(case9, flows, capacity_fraction=0.5)
+        assert tight.max() >= loose.max()
+
+    def test_unlimited_branch_never_violates(self, small_synthetic):
+        net = small_synthetic
+        va = np.linspace(0.0, 1.0, net.n_bus)
+        flows = branch_flows(net, np.ones(net.n_bus), va)
+        violation = line_limit_violation(net, flows)
+        assert np.all(violation[~net.branch_has_limit] == 0.0)

@@ -1,0 +1,111 @@
+"""Tests for load profiles, ramp limits, and the tracking driver."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.interior_point import InteriorPointOptions
+from repro.exceptions import ConfigurationError
+from repro.grid.cases import load_case
+from repro.tracking import apply_ramp_limits, make_load_profile, track_horizon
+from repro.tracking.horizon import relative_gaps
+from repro.tracking.ramping import ramp_limits
+
+
+class TestLoadProfile:
+    def test_length_and_start_value(self):
+        profile = make_load_profile(n_periods=30, seed=1)
+        assert profile.n_periods == 30
+        assert np.isclose(profile.multipliers[0], 1.0)
+
+    def test_drift_bounded(self):
+        profile = make_load_profile(n_periods=30, total_drift=0.05, seed=2)
+        assert profile.max_drift <= 0.08  # 5% drift plus small fluctuation
+
+    def test_deterministic_in_seed(self):
+        a = make_load_profile(seed=7)
+        b = make_load_profile(seed=7)
+        assert np.array_equal(a.multipliers, b.multipliers)
+        c = make_load_profile(seed=8)
+        assert not np.array_equal(a.multipliers, c.multipliers)
+
+    def test_multiplier_accessor(self):
+        profile = make_load_profile(n_periods=5, seed=3)
+        assert profile.multiplier(0) == profile.multipliers[0]
+
+    def test_invalid_periods(self):
+        with pytest.raises(ConfigurationError):
+            make_load_profile(n_periods=0)
+
+    def test_invalid_drift(self):
+        with pytest.raises(ConfigurationError):
+            make_load_profile(total_drift=0.9)
+
+
+class TestRamping:
+    def test_ramp_limits_default_fraction(self, case9):
+        limits = ramp_limits(case9)
+        assert np.allclose(limits, 0.02 * case9.gen_pmax)
+
+    def test_window_tightened_around_previous_point(self, case9):
+        previous = 0.5 * (case9.gen_pmin + case9.gen_pmax)
+        limited = apply_ramp_limits(case9, previous)
+        assert np.all(limited.gen_pmax <= previous + 0.02 * case9.gen_pmax + 1e-9)
+        assert np.all(limited.gen_pmin >= previous - 0.02 * case9.gen_pmax - 1e-9)
+
+    def test_window_never_empty(self, case9):
+        # Previous point at the original upper bound: window must stay valid.
+        previous = case9.gen_pmax.copy()
+        limited = apply_ramp_limits(case9, previous)
+        assert np.all(limited.gen_pmin <= limited.gen_pmax + 1e-12)
+
+    def test_explicit_ramp_rate_respected(self, small_synthetic):
+        previous = 0.5 * (small_synthetic.gen_pmin + small_synthetic.gen_pmax)
+        limited = apply_ramp_limits(small_synthetic, previous)
+        window = limited.gen_pmax - limited.gen_pmin
+        assert np.all(window <= 2 * 0.02 * small_synthetic.gen_pmax + 1e-9)
+
+    def test_loads_untouched(self, case9):
+        previous = case9.gen_pg0
+        limited = apply_ramp_limits(case9, previous)
+        assert np.allclose(limited.bus_pd, case9.bus_pd)
+
+
+class TestHorizonDriver:
+    def test_ipm_tracking_three_periods(self, case9):
+        profile = make_load_profile(n_periods=3, seed=4)
+        result = track_horizon(case9, profile, method="ipm")
+        assert len(result.periods) == 3
+        assert all(p.converged for p in result.periods)
+        # Loads only drift by <1% over 3 periods, so objectives stay close.
+        objectives = result.objectives
+        assert np.all(np.abs(np.diff(objectives)) / objectives[:-1] < 0.05)
+        assert result.cumulative_seconds.shape == (3,)
+        assert np.all(np.diff(result.cumulative_seconds) >= 0)
+
+    def test_dispatch_respects_ramp_between_periods(self, case9):
+        profile = make_load_profile(n_periods=3, seed=5)
+        result = track_horizon(case9, profile, method="ipm")
+        for a, b in zip(result.periods[:-1], result.periods[1:]):
+            delta = np.abs(b.pg - a.pg)
+            assert np.all(delta <= 0.02 * case9.gen_pmax + 1e-5)
+
+    def test_unknown_method_rejected(self, case9):
+        profile = make_load_profile(n_periods=2)
+        with pytest.raises(ConfigurationError):
+            track_horizon(case9, profile, method="magic")
+
+    def test_relative_gaps_requires_same_length(self, case9):
+        profile2 = make_load_profile(n_periods=2, seed=1)
+        profile3 = make_load_profile(n_periods=3, seed=1)
+        run2 = track_horizon(case9, profile2, method="ipm")
+        run3 = track_horizon(case9, profile3, method="ipm")
+        with pytest.raises(ConfigurationError):
+            relative_gaps(run2, run3)
+        gaps = relative_gaps(run2, run2)
+        assert np.allclose(gaps, 0.0)
+
+    def test_cold_start_mode(self, case9):
+        profile = make_load_profile(n_periods=2, seed=6)
+        result = track_horizon(case9, profile, method="ipm", warm_start=False)
+        assert not result.warm_start
+        assert len(result.periods) == 2

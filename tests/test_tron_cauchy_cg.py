@@ -1,0 +1,115 @@
+"""Tests for the Cauchy-point search and the Steihaug CG solver."""
+
+import numpy as np
+import pytest
+
+from repro.tron.cauchy import _quadratic_model, cauchy_point
+from repro.tron.cg import steihaug_cg
+
+
+def random_spd_batch(rng, batch, n, shift=0.5):
+    a = rng.normal(size=(batch, n, n))
+    return np.einsum("bij,bkj->bik", a, a) + shift * np.eye(n)
+
+
+class TestCauchyPoint:
+    def test_decreases_quadratic_model(self, rng):
+        batch, n = 20, 6
+        hess = random_spd_batch(rng, batch, n)
+        g = rng.normal(size=(batch, n))
+        x = np.zeros((batch, n))
+        lb = np.full((batch, n), -2.0)
+        ub = np.full((batch, n), 2.0)
+        delta = np.full(batch, 1.0)
+        s, alpha = cauchy_point(x, g, hess, delta, lb, ub)
+        q = _quadratic_model(g, hess, s)
+        assert np.all(q <= 1e-12)
+        assert np.all(alpha >= 0)
+
+    def test_step_stays_in_box_and_radius(self, rng):
+        batch, n = 30, 4
+        hess = random_spd_batch(rng, batch, n)
+        g = rng.normal(size=(batch, n)) * 5
+        x = rng.uniform(-1, 1, size=(batch, n))
+        lb = np.full((batch, n), -1.0)
+        ub = np.full((batch, n), 1.0)
+        delta = rng.uniform(0.1, 2.0, batch)
+        s, _ = cauchy_point(x, g, hess, delta, lb, ub)
+        assert np.all(x + s >= lb - 1e-10)
+        assert np.all(x + s <= ub + 1e-10)
+        assert np.all(np.linalg.norm(s, axis=-1) <= delta * (1 + 1e-6))
+
+    def test_zero_gradient_gives_zero_step(self):
+        hess = np.eye(3)[None]
+        s, alpha = cauchy_point(np.zeros((1, 3)), np.zeros((1, 3)), hess,
+                                np.array([1.0]), np.full((1, 3), -1.0), np.full((1, 3), 1.0))
+        assert np.allclose(s, 0.0)
+        assert alpha[0] == 0.0
+
+    def test_indefinite_hessian_still_decreases(self, rng):
+        batch, n = 10, 5
+        a = rng.normal(size=(batch, n, n))
+        hess = 0.5 * (a + np.transpose(a, (0, 2, 1)))  # indefinite
+        g = rng.normal(size=(batch, n))
+        x = np.zeros((batch, n))
+        s, _ = cauchy_point(x, g, hess, np.full(batch, 0.5),
+                            np.full((batch, n), -1.0), np.full((batch, n), 1.0))
+        q = _quadratic_model(g, hess, s)
+        assert np.all(q <= 1e-12)
+
+
+class TestSteihaugCg:
+    def test_solves_unconstrained_newton_system(self, rng):
+        batch, n = 15, 6
+        hess = random_spd_batch(rng, batch, n)
+        rhs = rng.normal(size=(batch, n))
+        free = np.ones((batch, n), dtype=bool)
+        result = steihaug_cg(hess, rhs, np.full(batch, 1e6), free, tol=1e-10, max_iter=50)
+        expected = np.stack([np.linalg.solve(hess[b], rhs[b]) for b in range(batch)])
+        assert np.allclose(result.step, expected, atol=1e-6)
+        assert not result.negative_curvature.any()
+
+    def test_respects_trust_radius(self, rng):
+        batch, n = 15, 6
+        hess = random_spd_batch(rng, batch, n, shift=0.1)
+        rhs = rng.normal(size=(batch, n)) * 10
+        free = np.ones((batch, n), dtype=bool)
+        radius = np.full(batch, 0.3)
+        result = steihaug_cg(hess, rhs, radius, free, tol=1e-10)
+        assert np.all(np.linalg.norm(result.step, axis=-1) <= radius + 1e-8)
+
+    def test_negative_curvature_goes_to_boundary(self):
+        hess = np.array([[[-1.0, 0.0], [0.0, -2.0]]])
+        rhs = np.array([[1.0, 0.5]])
+        free = np.ones((1, 2), dtype=bool)
+        radius = np.array([2.0])
+        result = steihaug_cg(hess, rhs, radius, free)
+        assert result.negative_curvature[0]
+        assert np.isclose(np.linalg.norm(result.step[0]), 2.0, atol=1e-8)
+
+    def test_frozen_variables_do_not_move(self, rng):
+        batch, n = 8, 5
+        hess = random_spd_batch(rng, batch, n)
+        rhs = rng.normal(size=(batch, n))
+        free = np.ones((batch, n), dtype=bool)
+        free[:, 2] = False
+        result = steihaug_cg(hess, rhs, np.full(batch, 10.0), free)
+        assert np.allclose(result.step[:, 2], 0.0)
+
+    def test_zero_rhs_returns_zero_step(self):
+        hess = np.eye(4)[None]
+        result = steihaug_cg(hess, np.zeros((1, 4)), np.array([1.0]),
+                             np.ones((1, 4), dtype=bool))
+        assert np.allclose(result.step, 0.0)
+        assert result.iterations[0] == 0
+
+    def test_model_decrease(self, rng):
+        batch, n = 20, 6
+        hess = random_spd_batch(rng, batch, n, shift=0.2)
+        rhs = rng.normal(size=(batch, n))
+        free = np.ones((batch, n), dtype=bool)
+        result = steihaug_cg(hess, rhs, np.full(batch, 0.5), free)
+        # model value q(w) = -rhs.w + 0.5 w H w must be non-positive
+        q = -np.einsum("bi,bi->b", rhs, result.step) + 0.5 * np.einsum(
+            "bi,bij,bj->b", result.step, hess, result.step)
+        assert np.all(q <= 1e-10)

@@ -1,0 +1,170 @@
+"""Tests for the batched TRON driver against SciPy references."""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.tron import TronOptions, tron_solve, tron_solve_batch
+from repro.tron.batch import QuadraticBatchProblem, solve_batch
+
+
+def random_convex_qp_batch(rng, batch, n):
+    mats = []
+    for _ in range(batch):
+        a = rng.normal(size=(n, n))
+        mats.append(a @ a.T + 0.5 * np.eye(n))
+    q = np.stack(mats)
+    c = rng.normal(size=(batch, n))
+    lb = np.full((batch, n), -1.0)
+    ub = np.full((batch, n), 1.0)
+    return QuadraticBatchProblem(q, c, lb, ub)
+
+
+class TestConvexProblems:
+    def test_matches_scipy_on_box_qps(self, rng):
+        batch, n = 30, 6
+        problem = random_convex_qp_batch(rng, batch, n)
+        result = solve_batch(problem, np.zeros((batch, n)))
+        assert result.all_converged
+        for b in range(batch):
+            ref = minimize(lambda x, b=b: 0.5 * x @ problem.q[b] @ x - problem.c[b] @ x,
+                           np.zeros(n), jac=lambda x, b=b: problem.q[b] @ x - problem.c[b],
+                           method="L-BFGS-B", bounds=[(-1, 1)] * n)
+            assert result.f[b] <= ref.fun + 1e-5 * (1 + abs(ref.fun))
+
+    def test_unconstrained_quadratic_reaches_newton_point(self, rng):
+        n = 5
+        a = rng.normal(size=(n, n))
+        q = a @ a.T + np.eye(n)
+        c = rng.normal(size=n)
+        problem = QuadraticBatchProblem(q[None], c[None],
+                                        np.full((1, n), -1e6), np.full((1, n), 1e6))
+        result = solve_batch(problem, np.zeros((1, n)))
+        assert np.allclose(result.x[0], np.linalg.solve(q, c), atol=1e-5)
+
+    def test_solution_respects_bounds(self, rng):
+        batch, n = 25, 4
+        problem = random_convex_qp_batch(rng, batch, n)
+        result = solve_batch(problem, rng.uniform(-1, 1, (batch, n)))
+        assert np.all(result.x >= problem.lb - 1e-12)
+        assert np.all(result.x <= problem.ub + 1e-12)
+
+    def test_projected_gradient_small_at_solution(self, rng):
+        problem = random_convex_qp_batch(rng, 10, 5)
+        result = solve_batch(problem, np.zeros((10, 5)))
+        assert np.all(result.projected_gradient_norm <= 1e-5)
+
+
+class TestNonconvexProblems:
+    def test_rosenbrock_unbounded(self):
+        def f(x):
+            return 100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2
+
+        def g(x):
+            return np.array([-400 * x[0] * (x[1] - x[0] ** 2) - 2 * (1 - x[0]),
+                             200 * (x[1] - x[0] ** 2)])
+
+        def h(x):
+            return np.array([[1200 * x[0] ** 2 - 400 * x[1] + 2, -400 * x[0]],
+                             [-400 * x[0], 200.0]])
+
+        result = tron_solve(f, g, h, np.array([-1.2, 1.0]),
+                            np.array([-5.0, -5.0]), np.array([5.0, 5.0]),
+                            TronOptions(max_iter=500))
+        assert result.converged
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-4)
+
+    def test_rosenbrock_active_bound(self):
+        def f(x):
+            return 100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2
+
+        def g(x):
+            return np.array([-400 * x[0] * (x[1] - x[0] ** 2) - 2 * (1 - x[0]),
+                             200 * (x[1] - x[0] ** 2)])
+
+        def h(x):
+            return np.array([[1200 * x[0] ** 2 - 400 * x[1] + 2, -400 * x[0]],
+                             [-400 * x[0], 200.0]])
+
+        result = tron_solve(f, g, h, np.zeros(2), np.array([-0.5, -0.5]),
+                            np.array([0.5, 0.5]), TronOptions(max_iter=500))
+        ref = minimize(f, np.zeros(2), jac=g, method="L-BFGS-B",
+                       bounds=[(-0.5, 0.5)] * 2)
+        assert result.f <= ref.fun + 1e-6
+
+    def test_indefinite_qp_reaches_local_minimum(self, rng):
+        batch, n = 20, 6
+        mats = []
+        for _ in range(batch):
+            a = rng.normal(size=(n, n))
+            mats.append(0.5 * (a + a.T))
+        q = np.stack(mats)
+        c = rng.normal(size=(batch, n))
+        problem = QuadraticBatchProblem(q, c, np.full((batch, n), -1.0),
+                                        np.full((batch, n), 1.0))
+        result = solve_batch(problem, rng.uniform(-1, 1, (batch, n)))
+        # Polishing each solution with scipy must not find anything better
+        # (i.e. we are at a local minimum / stationary point).
+        for b in range(batch):
+            ref = minimize(lambda x, b=b: 0.5 * x @ q[b] @ x - c[b] @ x, result.x[b],
+                           jac=lambda x, b=b: q[b] @ x - c[b], method="L-BFGS-B",
+                           bounds=[(-1, 1)] * n)
+            assert ref.fun >= result.f[b] - 1e-6 * (1 + abs(result.f[b]))
+
+
+class TestBackendsAndOptions:
+    def test_loop_and_batched_backends_agree(self, rng):
+        problem = random_convex_qp_batch(rng, 8, 5)
+        x0 = rng.uniform(-1, 1, (8, 5))
+        batched = solve_batch(problem, x0, backend="batched")
+        loop = solve_batch(problem, x0, backend="loop")
+        assert np.allclose(batched.f, loop.f, atol=1e-6)
+        assert np.allclose(batched.x, loop.x, atol=1e-4)
+
+    def test_unknown_backend_rejected(self, rng):
+        problem = random_convex_qp_batch(rng, 2, 3)
+        with pytest.raises(ConfigurationError):
+            solve_batch(problem, np.zeros((2, 3)), backend="cuda")
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(DimensionError):
+            tron_solve_batch(lambda x: np.zeros(1), lambda x: np.zeros((1, 2)),
+                             lambda x: np.zeros((1, 2, 2)), np.zeros((1, 2)),
+                             np.array([1.0, 1.0]), np.array([0.0, 0.0]))
+
+    def test_options_validation(self):
+        with pytest.raises(ConfigurationError):
+            TronOptions(max_iter=0).validate()
+        with pytest.raises(ConfigurationError):
+            TronOptions(gtol=-1.0).validate()
+        with pytest.raises(ConfigurationError):
+            TronOptions(eta0=0.5, eta1=0.4).validate()
+        with pytest.raises(ConfigurationError):
+            TronOptions(cg_tol=2.0).validate()
+        TronOptions().validate()  # defaults are valid
+
+    def test_starting_point_outside_box_is_projected(self, rng):
+        problem = random_convex_qp_batch(rng, 5, 4)
+        result = solve_batch(problem, np.full((5, 4), 100.0))
+        assert np.all(result.x <= problem.ub + 1e-12)
+        assert result.all_converged
+
+    def test_fixed_variables_via_equal_bounds(self, rng):
+        n = 4
+        a = rng.normal(size=(n, n))
+        q = (a @ a.T + np.eye(n))[None]
+        c = rng.normal(size=(1, n))
+        lb = np.full((1, n), -1.0)
+        ub = np.full((1, n), 1.0)
+        lb[0, 1] = ub[0, 1] = 0.25  # pin variable 1
+        problem = QuadraticBatchProblem(q, c, lb, ub)
+        result = solve_batch(problem, np.zeros((1, n)))
+        assert np.isclose(result.x[0, 1], 0.25)
+
+    def test_iteration_counts_reported(self, rng):
+        problem = random_convex_qp_batch(rng, 6, 4)
+        result = solve_batch(problem, np.zeros((6, 4)))
+        assert result.iterations.shape == (6,)
+        assert np.all(result.iterations >= 1)
+        assert result.function_evaluations > 0

@@ -1,0 +1,127 @@
+"""Property-based tests for the TRON projection utilities."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tron.projection import (
+    free_variable_mask,
+    max_feasible_step,
+    project,
+    projected_gradient,
+    projected_gradient_norm,
+)
+
+vectors = hnp.arrays(np.float64, shape=st.integers(1, 8),
+                     elements=st.floats(-10, 10, allow_nan=False))
+
+
+@st.composite
+def box_and_point(draw):
+    n = draw(st.integers(1, 8))
+    lb = draw(hnp.arrays(np.float64, n, elements=st.floats(-5, 0)))
+    width = draw(hnp.arrays(np.float64, n, elements=st.floats(0, 5)))
+    ub = lb + width
+    x = draw(hnp.arrays(np.float64, n, elements=st.floats(-10, 10)))
+    g = draw(hnp.arrays(np.float64, n, elements=st.floats(-10, 10)))
+    return lb, ub, x, g
+
+
+class TestProject:
+    @settings(max_examples=100, deadline=None)
+    @given(box_and_point())
+    def test_projection_is_inside_box(self, data):
+        lb, ub, x, _ = data
+        p = project(x, lb, ub)
+        assert np.all(p >= lb - 1e-12)
+        assert np.all(p <= ub + 1e-12)
+
+    @settings(max_examples=100, deadline=None)
+    @given(box_and_point())
+    def test_projection_is_idempotent(self, data):
+        lb, ub, x, _ = data
+        p = project(x, lb, ub)
+        assert np.allclose(project(p, lb, ub), p)
+
+    @settings(max_examples=100, deadline=None)
+    @given(box_and_point())
+    def test_interior_points_unchanged(self, data):
+        lb, ub, x, _ = data
+        inside = np.clip(x, lb, ub)
+        assert np.allclose(project(inside, lb, ub), inside)
+
+    def test_batched_shape(self):
+        x = np.zeros((5, 3))
+        out = project(x + 2.0, np.full((5, 3), -1.0), np.full((5, 3), 1.0))
+        assert out.shape == (5, 3)
+        assert np.all(out == 1.0)
+
+
+class TestProjectedGradient:
+    @settings(max_examples=100, deadline=None)
+    @given(box_and_point())
+    def test_zero_at_unconstrained_stationary_point(self, data):
+        lb, ub, x, _ = data
+        x_in = np.clip(x, lb, ub)
+        pg = projected_gradient(x_in, np.zeros_like(x_in), lb, ub)
+        assert np.allclose(pg, 0.0)
+
+    def test_zero_at_bound_with_outward_gradient(self):
+        lb = np.array([0.0])
+        ub = np.array([1.0])
+        # x at upper bound and gradient pushes further up -> stationary.
+        pg = projected_gradient(np.array([1.0]), np.array([-3.0]), lb, ub)
+        assert np.allclose(pg, 0.0)
+
+    def test_nonzero_in_interior_with_gradient(self):
+        pg = projected_gradient(np.array([0.5]), np.array([0.2]),
+                                np.array([0.0]), np.array([1.0]))
+        assert np.allclose(pg, 0.2)
+
+    def test_norm_is_inf_norm(self):
+        x = np.array([[0.5, 0.5]])
+        g = np.array([[0.1, -0.4]])
+        lb = np.full((1, 2), 0.0)
+        ub = np.full((1, 2), 1.0)
+        assert np.isclose(projected_gradient_norm(x, g, lb, ub), 0.4)
+
+
+class TestFreeVariables:
+    def test_interior_is_free(self):
+        mask = free_variable_mask(np.array([0.5]), np.array([1.0]),
+                                  np.array([0.0]), np.array([1.0]))
+        assert mask.all()
+
+    def test_lower_bound_with_positive_gradient_is_fixed(self):
+        mask = free_variable_mask(np.array([0.0]), np.array([1.0]),
+                                  np.array([0.0]), np.array([1.0]))
+        assert not mask.any()
+
+    def test_lower_bound_with_negative_gradient_is_free(self):
+        mask = free_variable_mask(np.array([0.0]), np.array([-1.0]),
+                                  np.array([0.0]), np.array([1.0]))
+        assert mask.all()
+
+
+class TestMaxFeasibleStep:
+    def test_step_respects_bounds(self):
+        x = np.array([[0.5, 0.5]])
+        d = np.array([[1.0, -2.0]])
+        t = max_feasible_step(x, d, np.zeros((1, 2)), np.ones((1, 2)))
+        assert np.isclose(t[0], 0.25)
+
+    def test_zero_direction_gives_cap(self):
+        x = np.array([[0.5]])
+        d = np.array([[0.0]])
+        t = max_feasible_step(x, d, np.zeros((1, 1)), np.ones((1, 1)), cap=1.0)
+        assert np.isclose(t[0], 1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(box_and_point())
+    def test_resulting_point_feasible(self, data):
+        lb, ub, x, g = data
+        x_in = np.clip(x, lb, ub)
+        t = max_feasible_step(x_in, g, lb, ub)
+        moved = x_in + t * g
+        assert np.all(moved >= lb - 1e-9)
+        assert np.all(moved <= ub + 1e-9)
