@@ -21,12 +21,28 @@ inventory, and ``EXPERIMENTS.md`` for the reproduction of every table and
 figure of the paper.
 """
 
-from repro.admm import AdmmParameters, AdmmSolution, AdmmSolver, solve_acopf_admm
+from repro.admm import (
+    AdmmParameters,
+    AdmmSolution,
+    AdmmSolver,
+    BatchAdmmSolver,
+    scenario_parameters,
+    solve_acopf_admm,
+    solve_acopf_admm_batch,
+)
 from repro.admm.parameters import parameters_for_case, suggest_penalties
 from repro.analysis import constraint_violation, evaluate_solution, relative_objective_gap
 from repro.baseline import BaselineSolution, InteriorPointOptions, solve_acopf_ipm
 from repro.grid import Network, available_cases, load_case, make_synthetic_grid
 from repro.powerflow import branch_flows, dc_power_flow, solve_power_flow
+from repro.scenarios import (
+    Scenario,
+    ScenarioSet,
+    contingency_scenarios,
+    load_scaling_scenarios,
+    monte_carlo_load_scenarios,
+    penalty_sweep_scenarios,
+)
 from repro.tracking import make_load_profile, track_horizon
 
 __version__ = "1.0.0"
@@ -36,6 +52,15 @@ __all__ = [
     "AdmmSolution",
     "AdmmSolver",
     "solve_acopf_admm",
+    "BatchAdmmSolver",
+    "solve_acopf_admm_batch",
+    "scenario_parameters",
+    "Scenario",
+    "ScenarioSet",
+    "contingency_scenarios",
+    "load_scaling_scenarios",
+    "monte_carlo_load_scenarios",
+    "penalty_sweep_scenarios",
     "parameters_for_case",
     "suggest_penalties",
     "constraint_violation",

@@ -19,6 +19,12 @@ Public entry points:
 * :class:`~repro.admm.parameters.AdmmParameters` — all tuning knobs.
 """
 
+from repro.admm.batch_solver import (
+    BatchAdmmSolver,
+    extract_scenario_state,
+    scenario_parameters,
+    solve_acopf_admm_batch,
+)
 from repro.admm.parameters import AdmmParameters, suggest_penalties
 from repro.admm.solver import AdmmSolution, AdmmSolver, solve_acopf_admm
 
@@ -28,4 +34,8 @@ __all__ = [
     "AdmmSolution",
     "AdmmSolver",
     "solve_acopf_admm",
+    "BatchAdmmSolver",
+    "solve_acopf_admm_batch",
+    "scenario_parameters",
+    "extract_scenario_state",
 ]

@@ -8,7 +8,12 @@ residual ``r + z`` to zero while the outer augmented-Lagrangian level drives
 penalty ``β``.
 
 All updates are element-wise closed forms (eq. (6) and (8) of the paper) —
-one GPU thread per constraint in the paper's implementation.
+one GPU thread per constraint in the paper's implementation.  In a
+scenario-stacked solve ``state.beta`` is a per-scenario array broadcast onto
+each group's component axis, and the outer-level update runs under a
+per-scenario mask: only scenarios whose inner ADMM just finished advance
+their ``λ`` / ``β``, while the element-wise kernels keep sweeping the full
+stacked arrays.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import numpy as np
 
 from repro.admm.data import COUPLING_GROUPS, ComponentData
 from repro.admm.state import AdmmState
+from repro.parallel.kernels import segment_max
 
 
 def update_artificial_variables(data: ComponentData, state: AdmmState) -> None:
@@ -29,9 +35,9 @@ def update_artificial_variables(data: ComponentData, state: AdmmState) -> None:
     ``z* = −(lz + y + ρ r) / (β + ρ)``.
     """
     residuals = state.coupling_residuals(data)
-    beta = state.beta
     for group in COUPLING_GROUPS:
         rho = data.rho[group]
+        beta = data.per_element(state.beta, group)
         state.z[group] = -(state.lz[group] + state.y[group] + rho * residuals[group]) / (beta + rho)
 
 
@@ -51,19 +57,48 @@ def update_multipliers(data: ComponentData, state: AdmmState) -> dict[str, np.nd
 
 
 def update_outer_level(data: ComponentData, state: AdmmState,
-                       previous_z_norm: float) -> float:
+                       previous_z_norm, active: np.ndarray | None = None):
     """Outer-level update of ``λ`` (projected) and ``β`` (geometric growth).
 
-    ``λ ← Π[−bound, bound](λ + β z)``; ``β`` grows by ``beta_factor`` whenever
-    ``‖z‖_∞`` failed to contract by ``beta_contraction``.  Returns the new
-    ``‖z‖_∞``.
+    Per scenario: ``λ ← Π[−bound, bound](λ + β z)``; ``β`` grows by
+    ``beta_factor`` whenever the scenario's ``‖z‖_∞`` failed to contract by
+    ``beta_contraction``.  ``active`` masks which scenarios update (the
+    batched solver advances a scenario's outer level only when *its* inner
+    ADMM has converged); masked-out scenarios keep ``λ``, ``β``, and their
+    previous ``‖z‖_∞`` untouched.
+
+    Returns the new per-scenario ``‖z‖_∞`` — as a float when called with
+    scalar state (the classic single-network path), as an array otherwise.
     """
     params = data.params
+    layout = data.scenario_layout
+    n_scenarios = layout.n_scenarios
+    scalar = (active is None and np.ndim(state.beta) == 0
+              and np.ndim(previous_z_norm) == 0 and n_scenarios == 1)
+
+    beta = np.broadcast_to(np.asarray(state.beta, dtype=float), (n_scenarios,))
+    previous = np.broadcast_to(np.asarray(previous_z_norm, dtype=float), (n_scenarios,))
+    mask = np.ones(n_scenarios, dtype=bool) if active is None else np.asarray(active, dtype=bool)
+
     bound = params.outer_multiplier_bound
+    z_norms = np.zeros(n_scenarios)
     for group in COUPLING_GROUPS:
-        state.lz[group] = np.clip(state.lz[group] + state.beta * state.z[group],
-                                  -bound, bound)
-    z_norm = state.z_norm()
-    if z_norm > params.beta_contraction * previous_z_norm:
-        state.beta = min(state.beta * params.beta_factor, params.beta_max)
-    return z_norm
+        segments = data.group_scenarios(group)
+        beta_e = beta[segments]
+        updated = np.clip(state.lz[group] + beta_e * state.z[group], -bound, bound)
+        if active is None:
+            state.lz[group] = updated
+        else:
+            state.lz[group] = np.where(mask[segments], updated, state.lz[group])
+        z_norms = np.maximum(z_norms, segment_max(
+            np.abs(state.z[group]), segments, n_scenarios))
+
+    grow = mask & (z_norms > params.beta_contraction * previous)
+    new_beta = np.where(grow, np.minimum(beta * params.beta_factor, params.beta_max), beta)
+    new_previous = np.where(mask, z_norms, previous)
+
+    if scalar:
+        state.beta = float(new_beta[0])
+        return float(new_previous[0])
+    state.beta = new_beta
+    return new_previous

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.admm.data import ComponentData
 from repro.admm.state import AdmmState
+from repro.parallel.kernels import segment_max
 from repro.powerflow.branch_derivatives import (
     quantity_value,
     quantity_value_grad,
@@ -227,6 +228,30 @@ class BranchObjective:
     def hessian(self, u: np.ndarray) -> np.ndarray:
         return self._evaluate(u, order=2)[2]
 
+    def select(self, index: int) -> "BranchObjective":
+        """One-branch view for the loop TRON backend's single-row evaluation."""
+        sl = slice(index, index + 1)
+        rho = {group: (value if np.ndim(value) == 0 else value[sl])
+               for group, value in self.data.rho.items()
+               if group not in ("gp", "gq")}
+        view = _BranchDataView(
+            quantities=self.data.quantities.take(np.array([index])),
+            rho=rho,
+            branch_has_limit=self.data.branch_has_limit[sl])
+        return BranchObjective(
+            data=view,
+            tgt_pij=self.tgt_pij[sl], tgt_qij=self.tgt_qij[sl],
+            tgt_pji=self.tgt_pji[sl], tgt_qji=self.tgt_qji[sl],
+            tgt_wi=self.tgt_wi[sl], tgt_ti=self.tgt_ti[sl],
+            tgt_wj=self.tgt_wj[sl], tgt_tj=self.tgt_tj[sl],
+            y_pij=self.y_pij[sl], y_qij=self.y_qij[sl],
+            y_pji=self.y_pji[sl], y_qji=self.y_qji[sl],
+            y_wi=self.y_wi[sl], y_ti=self.y_ti[sl],
+            y_wj=self.y_wj[sl], y_tj=self.y_tj[sl],
+            lam_sij=self.lam_sij[sl], lam_sji=self.lam_sji[sl],
+            rho_tilde=self.rho_tilde[sl],
+            lb=self.lb[sl], ub=self.ub[sl])
+
     def limit_residuals(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Line-limit constraint residuals (zero for unrated branches)."""
         data = self.data
@@ -238,6 +263,15 @@ class BranchObjective:
         c_ij = np.where(limited, flows["pij"] ** 2 + flows["qij"] ** 2 + u[:, SIJ], 0.0)
         c_ji = np.where(limited, flows["pji"] ** 2 + flows["qji"] ** 2 + u[:, SJI], 0.0)
         return c_ij, c_ji
+
+
+@dataclass
+class _BranchDataView:
+    """The slice of :class:`ComponentData` a sliced branch objective needs."""
+
+    quantities: object
+    rho: dict
+    branch_has_limit: np.ndarray
 
 
 def build_branch_objective(data: ComponentData, state: AdmmState) -> BranchObjective:
@@ -289,33 +323,54 @@ def update_branches(data: ComponentData, state: AdmmState,
 
     u = np.column_stack([state.vi, state.vj, state.ti, state.tj, state.sij, state.sji])
     limited = data.branch_has_limit
+    segments = data.group_scenarios("pij")
+    n_scenarios = data.n_scenarios
     max_violation = 0.0
     tron_iterations = 0
 
     previous_violation = np.full(data.n_branch, np.inf)
-    for _ in range(max(1, params.auglag_max_iter)):
+    done = np.zeros(n_scenarios, dtype=bool)
+    for iteration in range(max(1, params.auglag_max_iter)):
         result = solve_batch(objective, u, options=tron_options,
                              backend=params.tron_backend)
-        u = result.x
+        u_new = result.x
         tron_iterations += int(result.iterations.max()) if result.iterations.size else 0
+        if iteration > 0 and done.any():
+            # A scenario whose own augmented-Lagrangian loop has finished is
+            # frozen: a standalone solve would have broken out already, so
+            # later re-solves (driven by scenarios still iterating) must not
+            # move its branch variables.
+            u_new = np.where(done[segments][:, None], u, u_new)
+        u = u_new
 
         c_ij, c_ji = objective.limit_residuals(u)
         violation = np.maximum(np.abs(c_ij), np.abs(c_ji))
         max_violation = float(violation.max()) if violation.size else 0.0
-        if not limited.any() or max_violation <= params.auglag_tol:
+        # Scenarios are independent problems: whether a scenario's line-limit
+        # multipliers advance may only depend on *its own* worst violation,
+        # never on another scenario's (a global test would couple otherwise
+        # independent trajectories).
+        scenario_violation = segment_max(violation, segments, n_scenarios)
+        needs_update = ~done & (scenario_violation > params.auglag_tol)
+        done |= ~needs_update
+        if not limited.any() or not needs_update.any():
             break
 
-        # LANCELOT-style multiplier / penalty update (per branch).
+        # LANCELOT-style multiplier / penalty update (per branch), masked to
+        # the scenarios whose own augmented-Lagrangian loop is still running.
+        updating = limited & needs_update[segments]
         improved = violation <= 0.25 * previous_violation
-        objective.lam_sij = objective.lam_sij + objective.rho_tilde * c_ij
-        objective.lam_sji = objective.lam_sji + objective.rho_tilde * c_ji
-        increase = limited & ~improved
+        objective.lam_sij = np.where(
+            updating, objective.lam_sij + objective.rho_tilde * c_ij, objective.lam_sij)
+        objective.lam_sji = np.where(
+            updating, objective.lam_sji + objective.rho_tilde * c_ji, objective.lam_sji)
+        increase = updating & ~improved
         objective.rho_tilde = np.where(
             increase,
             np.minimum(objective.rho_tilde * params.auglag_penalty_factor,
                        params.auglag_penalty_max),
             objective.rho_tilde)
-        previous_violation = violation
+        previous_violation = np.where(updating, violation, previous_violation)
         # The multipliers changed, so cached evaluations are stale.
         objective._cache = None
 

@@ -27,13 +27,16 @@ group     constraint (component − bus copy)      length          penalty
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
 from repro.admm.parameters import AdmmParameters
+from repro.exceptions import DimensionError
 from repro.grid.network import Network
 from repro.powerflow.branch_derivatives import BranchQuantities, branch_quantities
+from repro.scenarios.layout import ScenarioLayout
 
 #: Names of the coupling-constraint groups, in canonical order.
 COUPLING_GROUPS = ("gp", "gq", "pij", "qij", "pji", "qji", "wi", "ti", "wj", "tj")
@@ -41,12 +44,34 @@ COUPLING_GROUPS = ("gp", "gq", "pij", "qij", "pji", "qji", "wi", "ti", "wj", "tj
 #: Groups penalised with ``rho_pq`` (the rest use ``rho_va``).
 POWER_GROUPS = ("gp", "gq", "pij", "qij", "pji", "qji")
 
+#: Component axis each coupling group's constraint array lives on.
+GROUP_AXIS = {group: ("gen" if group in ("gp", "gq") else "branch")
+              for group in COUPLING_GROUPS}
+
+#: Component axis of each group's *bus-side* value array: the voltage /
+#: angle groups are owned by buses (``w`` and ``θ`` are per-bus), the rest
+#: share the constraint axis.
+VALUE_AXIS = {group: ("bus" if group in ("wi", "ti", "wj", "tj") else GROUP_AXIS[group])
+              for group in COUPLING_GROUPS}
+
 
 @dataclass
 class ComponentData:
-    """Immutable per-case data consumed by the ADMM update kernels."""
+    """Immutable per-case (or per-batch) data consumed by the ADMM kernels.
 
-    network: Network
+    Built either from a single network (:meth:`from_network`) or as the
+    disjoint union of several independent scenarios
+    (:meth:`from_scenarios`).  In the stacked case every component axis is
+    the scenario-major concatenation of the per-scenario axes, bus indices
+    are offset so scenarios never couple, ``rho`` holds per-element arrays
+    (scenarios may sweep different penalties), and :attr:`layout` records
+    the segment structure used by per-scenario reductions.  The update
+    kernels are component-separable, so they run unchanged on stacked
+    arrays — the batch axis is simply wider, exactly like filling unused
+    thread blocks of the paper's GPU.
+    """
+
+    network: Network | None
     params: AdmmParameters
 
     # generators (active only)
@@ -78,8 +103,13 @@ class ComponentData:
     bus_bs: np.ndarray
     bus_vm_mid: np.ndarray
 
-    # penalties per coupling group
-    rho: dict[str, float]
+    # penalties per coupling group: scalars for a single network, per-element
+    # arrays (over the group's component axis) for scenario-stacked data
+    rho: dict[str, float | np.ndarray]
+
+    # scenario segment structure (a trivial single-scenario layout for
+    # ``from_network`` data); see :class:`repro.scenarios.layout.ScenarioLayout`
+    layout: ScenarioLayout | None = None
 
     @property
     def n_gen(self) -> int:
@@ -101,6 +131,42 @@ class ComponentData:
     def group_length(self, group: str) -> int:
         """Number of constraints in one coupling group."""
         return self.n_gen if group in ("gp", "gq") else self.n_branch
+
+    # ------------------------------------------------------------------ #
+    # Scenario structure                                                   #
+    # ------------------------------------------------------------------ #
+    @property
+    def scenario_layout(self) -> ScenarioLayout:
+        """The segment layout (built lazily for hand-constructed data)."""
+        if self.layout is None:
+            self.layout = ScenarioLayout.single(
+                name=self.network.name if self.network is not None else "case",
+                n_gen=self.n_gen, n_branch=self.n_branch, n_bus=self.n_bus,
+                rho_pq=self.params.rho_pq, rho_va=self.params.rho_va,
+                network=self.network)
+        return self.layout
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.scenario_layout.n_scenarios
+
+    def group_scenarios(self, group: str) -> np.ndarray:
+        """Owning-scenario id of every element of one coupling group."""
+        return self.scenario_layout.segments(GROUP_AXIS[group])
+
+    def group_block(self, group: str, scenario: int) -> slice:
+        """Contiguous slice of one scenario inside a group's constraint axis."""
+        return self.scenario_layout.block(GROUP_AXIS[group], scenario)
+
+    def value_block(self, group: str, scenario: int) -> slice:
+        """Contiguous slice of one scenario inside a group's bus-side axis."""
+        return self.scenario_layout.block(VALUE_AXIS[group], scenario)
+
+    def per_element(self, per_scenario, group: str):
+        """Broadcast per-scenario values onto a group's component axis."""
+        if np.ndim(per_scenario) == 0:
+            return per_scenario
+        return np.asarray(per_scenario)[self.group_scenarios(group)]
 
     @classmethod
     def from_network(cls, network: Network, params: AdmmParameters) -> "ComponentData":
@@ -145,6 +211,90 @@ class ComponentData:
             bus_bs=network.bus_bs.copy(),
             bus_vm_mid=0.5 * (network.bus_vmin + network.bus_vmax),
             rho=rho,
+            layout=ScenarioLayout.single(
+                name=network.name, n_gen=int(active.shape[0]),
+                n_branch=network.n_branch, n_bus=network.n_bus,
+                rho_pq=params.rho_pq, rho_va=params.rho_va, network=network),
+        )
+
+    @classmethod
+    def from_scenarios(cls, networks: Sequence[Network], params: AdmmParameters,
+                       penalties: Sequence[tuple[float, float]] | None = None,
+                       names: Sequence[str] | None = None) -> "ComponentData":
+        """Stack independent scenarios into one solver-facing layout.
+
+        Each scenario's components are laid out exactly as
+        :meth:`from_network` would (so every per-scenario block of the
+        stacked arrays is bitwise identical to the standalone layout), then
+        concatenated scenario-major with bus indices offset by the preceding
+        scenarios' bus counts.  ``penalties`` optionally overrides
+        ``(rho_pq, rho_va)`` per scenario — the stacked ``rho`` becomes a
+        per-element array, piecewise constant over scenario blocks.
+
+        Shared knobs (iteration limits, tolerances, the outer β schedule,
+        TRON options) come from ``params`` for every scenario.
+        """
+        networks = list(networks)
+        if not networks:
+            raise DimensionError("from_scenarios needs at least one network")
+        if penalties is None:
+            penalties = [(params.rho_pq, params.rho_va)] * len(networks)
+        if names is None:
+            names = [net.name for net in networks]
+        if len(penalties) != len(networks) or len(names) != len(networks):
+            raise DimensionError(
+                f"{len(networks)} networks but {len(penalties)} penalty pairs "
+                f"and {len(names)} names")
+
+        parts = [cls.from_network(net, replace(params, rho_pq=rho_pq, rho_va=rho_va))
+                 for net, (rho_pq, rho_va) in zip(networks, penalties)]
+        layout = ScenarioLayout.stack(
+            networks, names,
+            rho_pq=[p for p, _ in penalties], rho_va=[v for _, v in penalties],
+            n_gen=[part.n_gen for part in parts])
+        bus_offsets = layout.bus_offsets
+
+        def cat(attr: str) -> np.ndarray:
+            return np.concatenate([getattr(part, attr) for part in parts])
+
+        def cat_offset(attr: str) -> np.ndarray:
+            return np.concatenate([getattr(part, attr) + bus_offsets[s]
+                                   for s, part in enumerate(parts)])
+
+        rho = {group: np.concatenate([
+            np.full(part.group_length(group), part.rho[group]) for part in parts])
+            for group in COUPLING_GROUPS}
+
+        return cls(
+            network=None,
+            params=params,
+            # gen_index stays scenario-local: it indexes the owning network's
+            # generator axis and is only ever used through scenario blocks.
+            gen_index=cat("gen_index"),
+            gen_bus=cat_offset("gen_bus"),
+            gen_pmin=cat("gen_pmin"),
+            gen_pmax=cat("gen_pmax"),
+            gen_qmin=cat("gen_qmin"),
+            gen_qmax=cat("gen_qmax"),
+            gen_c2=cat("gen_c2"),
+            gen_c1=cat("gen_c1"),
+            gen_c0=cat("gen_c0"),
+            branch_from=cat_offset("branch_from"),
+            branch_to=cat_offset("branch_to"),
+            quantities=BranchQuantities.concatenate([part.quantities for part in parts]),
+            branch_vi_min=cat("branch_vi_min"),
+            branch_vi_max=cat("branch_vi_max"),
+            branch_vj_min=cat("branch_vj_min"),
+            branch_vj_max=cat("branch_vj_max"),
+            branch_has_limit=cat("branch_has_limit"),
+            branch_rate_sq=cat("branch_rate_sq"),
+            bus_pd=cat("bus_pd"),
+            bus_qd=cat("bus_qd"),
+            bus_gs=cat("bus_gs"),
+            bus_bs=cat("bus_bs"),
+            bus_vm_mid=cat("bus_vm_mid"),
+            rho=rho,
+            layout=layout,
         )
 
     def generation_cost(self, pg: np.ndarray) -> float:

@@ -118,11 +118,16 @@ class AdmmSolver:
             residual = None
 
             for inner in range(1, params.max_inner + 1):
-                device.launch("generator_update", update_generators, data, state)
-                device.launch("branch_update", update_branches, data, state, params.tron)
-                device.launch("bus_update", update_buses, data, state)
-                device.launch("z_update", update_artificial_variables, data, state)
-                primal = device.launch("multiplier_update", update_multipliers, data, state)
+                device.launch("generator_update", update_generators, data, state,
+                              elements=data.n_gen)
+                device.launch("branch_update", update_branches, data, state, params.tron,
+                              elements=data.n_branch)
+                device.launch("bus_update", update_buses, data, state,
+                              elements=data.n_bus)
+                device.launch("z_update", update_artificial_variables, data, state,
+                              elements=data.n_coupling)
+                primal = device.launch("multiplier_update", update_multipliers, data, state,
+                                       elements=data.n_coupling)
                 residual = compute_residuals(data, state, primal)
                 total_inner += 1
 

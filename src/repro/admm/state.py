@@ -59,8 +59,9 @@ class AdmmState:
     lam_sji: np.ndarray
     rho_tilde: np.ndarray
 
-    # outer level
-    beta: float
+    # outer level (a float for a single-network solve, a per-scenario array
+    # for scenario-stacked solves)
+    beta: float | np.ndarray
     outer_iteration: int = 0
     total_inner_iterations: int = 0
 
@@ -84,7 +85,8 @@ class AdmmState:
             lz={k: v.copy() for k, v in self.lz.items()},
             lam_sij=self.lam_sij.copy(), lam_sji=self.lam_sji.copy(),
             rho_tilde=self.rho_tilde.copy(),
-            beta=self.beta, outer_iteration=self.outer_iteration,
+            beta=(self.beta.copy() if isinstance(self.beta, np.ndarray) else self.beta),
+            outer_iteration=self.outer_iteration,
             total_inner_iterations=self.total_inner_iterations,
             previous_bus_values={k: v.copy() for k, v in self.previous_bus_values.items()},
         )

@@ -20,7 +20,7 @@ These are exactly MATPOWER's ``Yff``, ``Yft``, ``Ytf``, ``Ytt``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -257,6 +257,33 @@ class Network:
         return Network(name=name or self.name, base_mva=self.base_mva,
                        buses=new_buses, branches=list(self.branches),
                        generators=list(self.generators), costs=list(self.costs))
+
+    def with_branch_outage(self, branch_index: int, name: str | None = None) -> "Network":
+        """Return a copy with one in-service branch switched out (N-1).
+
+        ``branch_index`` refers to the solver-facing in-service branch axis
+        (the one ``branch_from`` / ``branch_to`` are indexed by), not the raw
+        component list, so contingency loops can iterate ``range(n_branch)``.
+        """
+        if not 0 <= branch_index < self.n_branch:
+            raise DataError(
+                f"branch index {branch_index} out of range for {self.n_branch} "
+                "in-service branches")
+        # Count in-service entries rather than matching by identity: a branch
+        # list may legally hold the same Branch instance twice (double
+        # circuit), and only the requested circuit goes out.
+        new_branches = []
+        live_seen = -1
+        for branch in self.branches:
+            if branch.in_service:
+                live_seen += 1
+                if live_seen == branch_index:
+                    branch = replace(branch, status=0)
+            new_branches.append(branch)
+        return Network(name=name or f"{self.name}@n-1:{branch_index}",
+                       base_mva=self.base_mva, buses=list(self.buses),
+                       branches=new_branches, generators=list(self.generators),
+                       costs=list(self.costs))
 
     def summary(self) -> str:
         """One-line human-readable summary (used by Table I reporting)."""

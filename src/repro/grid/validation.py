@@ -34,9 +34,19 @@ class ValidationReport:
 
 def connected_components(network: Network) -> list[set[int]]:
     """Return the connected components of the network graph (bus indices)."""
-    n = network.n_bus
+    return connected_components_from_edges(network.n_bus, network.branch_from,
+                                           network.branch_to)
+
+
+def connected_components_from_edges(n: int, branch_from, branch_to) -> list[set[int]]:
+    """Connected components of a bus graph given as parallel edge arrays.
+
+    Shared by :func:`connected_components` and the contingency scenario
+    generator (which probes connectivity with one branch removed without
+    rebuilding a :class:`Network`).
+    """
     adjacency: list[list[int]] = [[] for _ in range(n)]
-    for f, t in zip(network.branch_from, network.branch_to):
+    for f, t in zip(branch_from, branch_to):
         adjacency[f].append(int(t))
         adjacency[t].append(int(f))
     seen = np.zeros(n, dtype=bool)

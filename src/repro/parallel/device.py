@@ -7,6 +7,12 @@ arrays — and (ii) the time spent in each kernel category is recorded and can
 be reported by the benchmark harness, mirroring the paper's discussion of
 where the GPU time goes (closed-form updates are negligible, batched branch
 solves dominate).
+
+Launches may declare how many elements (components, coupling constraints)
+the kernel sweeps; the device then reports per-kernel *element throughput*,
+the occupancy proxy that makes batched-vs-sequential scenario runs
+comparable: a scenario-stacked launch processes S× the elements of a
+single-network launch in far less than S× the time.
 """
 
 from __future__ import annotations
@@ -23,10 +29,27 @@ class KernelRecord:
 
     launches: int = 0
     total_seconds: float = 0.0
+    total_elements: int = 0
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.launches if self.launches else 0.0
+
+    @property
+    def elements_per_second(self) -> float:
+        """Element throughput; zero when no elements (or time) were recorded."""
+        if self.total_elements == 0 or self.total_seconds <= 0.0:
+            return 0.0
+        return self.total_elements / self.total_seconds
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "launches": self.launches,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "total_elements": self.total_elements,
+            "elements_per_second": self.elements_per_second,
+        }
 
 
 @dataclass
@@ -42,8 +65,13 @@ class SimulatedDevice:
     synchronous: bool = True
     kernels: dict[str, KernelRecord] = field(default_factory=lambda: defaultdict(KernelRecord))
 
-    def launch(self, kernel_name: str, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        """Run ``fn(*args, **kwargs)`` as the kernel ``kernel_name``."""
+    def launch(self, kernel_name: str, fn: Callable[..., Any], *args: Any,
+               elements: int | None = None, **kwargs: Any) -> Any:
+        """Run ``fn(*args, **kwargs)`` as the kernel ``kernel_name``.
+
+        ``elements`` declares how many elements the launch sweeps (its batch
+        size); when given, the kernel's element throughput is tracked.
+        """
         start = time.perf_counter()
         try:
             return fn(*args, **kwargs)
@@ -52,6 +80,8 @@ class SimulatedDevice:
             record = self.kernels[kernel_name]
             record.launches += 1
             record.total_seconds += elapsed
+            if elements is not None:
+                record.total_elements += int(elements)
 
     def reset(self) -> None:
         """Clear all accumulated kernel statistics."""
@@ -61,11 +91,22 @@ class SimulatedDevice:
         """Total time spent inside kernels since the last reset."""
         return sum(rec.total_seconds for rec in self.kernels.values())
 
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable snapshot for the benchmark harness."""
+        return {
+            "device": self.name,
+            "total_seconds": self.total_kernel_seconds(),
+            "kernels": {name: rec.as_dict() for name, rec in sorted(self.kernels.items())},
+        }
+
     def report(self) -> str:
-        """Human-readable per-kernel timing table."""
+        """Human-readable per-kernel timing / throughput table."""
         lines = [f"device {self.name}: {self.total_kernel_seconds():.3f} s in kernels"]
         for name in sorted(self.kernels):
             rec = self.kernels[name]
-            lines.append(f"  {name:<28} launches={rec.launches:<7d} "
-                         f"total={rec.total_seconds:8.3f} s  mean={rec.mean_seconds * 1e3:8.3f} ms")
+            line = (f"  {name:<28} launches={rec.launches:<7d} "
+                    f"total={rec.total_seconds:8.3f} s  mean={rec.mean_seconds * 1e3:8.3f} ms")
+            if rec.total_elements:
+                line += f"  throughput={rec.elements_per_second:12.0f} elem/s"
+            lines.append(line)
         return "\n".join(lines)

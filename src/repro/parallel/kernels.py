@@ -65,3 +65,16 @@ def segment_sum(values: np.ndarray, segment_ids: np.ndarray, n_segments: int) ->
     out = np.zeros(n_segments, dtype=values.dtype)
     np.add.at(out, segment_ids, values)
     return out
+
+
+def segment_max(values: np.ndarray, segment_ids: np.ndarray, n_segments: int,
+                initial: float = 0.0) -> np.ndarray:
+    """Maximum of ``values`` per segment; empty segments get ``initial``.
+
+    The per-scenario ``‖·‖_∞`` reduction of the batched ADMM: unlike a
+    floating-point sum, a max is order-independent, so segment results are
+    bitwise identical to per-scenario reductions on unstacked arrays.
+    """
+    out = np.full(n_segments, -np.inf, dtype=float)
+    np.maximum.at(out, segment_ids, values)
+    return np.where(np.isneginf(out), initial, out)

@@ -28,6 +28,7 @@ power flow, and the flow-recomputation step of the reported solution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -53,6 +54,15 @@ class FlowCoefficients:
         """Coefficients restricted to the branches ``idx``."""
         return FlowCoefficients(self.k_i[idx], self.k_j[idx], self.a_c[idx], self.a_s[idx])
 
+    @staticmethod
+    def concatenate(parts: "Sequence[FlowCoefficients]") -> "FlowCoefficients":
+        """Stack coefficients of several branch sets along the branch axis."""
+        return FlowCoefficients(
+            np.concatenate([p.k_i for p in parts]),
+            np.concatenate([p.k_j for p in parts]),
+            np.concatenate([p.a_c for p in parts]),
+            np.concatenate([p.a_s for p in parts]))
+
 
 @dataclass(frozen=True)
 class BranchQuantities:
@@ -70,6 +80,15 @@ class BranchQuantities:
         """Quantities restricted to the branches ``idx``."""
         return BranchQuantities(self.pij.take(idx), self.qij.take(idx),
                                 self.pji.take(idx), self.qji.take(idx))
+
+    @staticmethod
+    def concatenate(parts: "Sequence[BranchQuantities]") -> "BranchQuantities":
+        """Stack quantities of several branch sets (scenario batching)."""
+        return BranchQuantities(
+            FlowCoefficients.concatenate([p.pij for p in parts]),
+            FlowCoefficients.concatenate([p.qij for p in parts]),
+            FlowCoefficients.concatenate([p.pji for p in parts]),
+            FlowCoefficients.concatenate([p.qji for p in parts]))
 
     def as_tuple(self) -> tuple[FlowCoefficients, ...]:
         return (self.pij, self.qij, self.pji, self.qji)

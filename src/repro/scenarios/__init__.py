@@ -1,0 +1,30 @@
+"""Scenario subsystem: batches of independent ACOPF instances.
+
+The paper saturates a GPU by giving every branch of one network its own
+thread block.  Small cases leave most of the device idle; this subsystem
+fills the batch axis with *independent scenarios* instead — load scalings,
+N-1 contingencies, penalty sweeps, or entirely different networks — so one
+ADMM kernel stream solves all of them simultaneously (see
+:func:`repro.admm.batch_solver.solve_acopf_admm_batch`).
+"""
+
+from repro.scenarios.generators import (
+    contingency_scenarios,
+    load_scaling_scenarios,
+    monte_carlo_load_scenarios,
+    penalty_sweep_scenarios,
+)
+from repro.scenarios.layout import ScenarioLayout, segments_from_offsets
+from repro.scenarios.scenario import Scenario, ScenarioSet, as_scenario_set
+
+__all__ = [
+    "Scenario",
+    "ScenarioSet",
+    "ScenarioLayout",
+    "as_scenario_set",
+    "segments_from_offsets",
+    "contingency_scenarios",
+    "load_scaling_scenarios",
+    "monte_carlo_load_scenarios",
+    "penalty_sweep_scenarios",
+]

@@ -1,0 +1,114 @@
+"""Scenario generators: load scalings, N-1 contingencies, penalty sweeps.
+
+Each generator returns a :class:`~repro.scenarios.scenario.ScenarioSet`
+ready for :func:`repro.admm.batch_solver.solve_acopf_admm_batch`.  The
+generated networks are independent copies — the base network is never
+mutated — and scenario names encode the perturbation so batched reports
+stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.network import Network
+from repro.grid.validation import connected_components_from_edges
+from repro.scenarios.scenario import Scenario, ScenarioSet
+
+
+def load_scaling_scenarios(network: Network, factors: Sequence[float],
+                           name: str | None = None) -> ScenarioSet:
+    """One scenario per demand multiplier (uniform over all buses)."""
+    factors = [float(f) for f in factors]
+    if not factors:
+        raise ConfigurationError("load_scaling_scenarios needs at least one factor")
+    scenarios = []
+    for factor in factors:
+        label = f"{network.name}@x{factor:g}"
+        scenarios.append(Scenario(
+            name=label, network=network.with_scaled_loads(factor, name=label)))
+    return ScenarioSet(scenarios=tuple(scenarios),
+                       name=name or f"{network.name}-load-scalings")
+
+
+def monte_carlo_load_scenarios(network: Network, n_scenarios: int,
+                               sigma: float = 0.05, seed: int = 0,
+                               name: str | None = None) -> ScenarioSet:
+    """Random per-bus demand perturbations (lognormal, mean one)."""
+    if n_scenarios < 1:
+        raise ConfigurationError("n_scenarios must be at least 1")
+    rng = np.random.default_rng(seed)
+    scenarios = []
+    for k in range(n_scenarios):
+        factors = np.exp(rng.normal(loc=-0.5 * sigma * sigma, scale=sigma,
+                                    size=network.n_bus))
+        label = f"{network.name}@mc{k}"
+        scenarios.append(Scenario(
+            name=label, network=network.with_scaled_loads(factors, name=label)))
+    return ScenarioSet(scenarios=tuple(scenarios),
+                       name=name or f"{network.name}-monte-carlo")
+
+
+def contingency_scenarios(network: Network,
+                          branch_indices: Sequence[int] | None = None,
+                          include_base: bool = False,
+                          name: str | None = None) -> ScenarioSet:
+    """N-1 branch-outage scenarios (one per surviving in-service branch).
+
+    Outages that would disconnect the network (bridges in the branch graph)
+    are skipped silently when ``branch_indices`` is ``None`` and rejected
+    with :class:`DataError` when requested explicitly — a disconnected
+    island has no reference angle and the stacked solve would be singular.
+    """
+    explicit = branch_indices is not None
+    if branch_indices is None:
+        branch_indices = range(network.n_branch)
+    scenarios = []
+    if include_base:
+        scenarios.append(Scenario(name=f"{network.name}@base", network=network))
+    for index in branch_indices:
+        index = int(index)
+        if not 0 <= index < network.n_branch:
+            raise ConfigurationError(
+                f"branch index {index} out of range for {network.n_branch} branches")
+        if not _connected_without(network, index):
+            if explicit:
+                raise DataError(
+                    f"outage of branch {index} disconnects {network.name}")
+            continue
+        scenarios.append(Scenario(
+            name=f"{network.name}@n-1:{index}",
+            network=network.with_branch_outage(index)))
+    if not scenarios:
+        raise DataError(
+            f"every N-1 outage disconnects {network.name}; no scenarios generated")
+    return ScenarioSet(scenarios=tuple(scenarios),
+                       name=name or f"{network.name}-n-1")
+
+
+def penalty_sweep_scenarios(network: Network,
+                            penalties: Sequence[tuple[float, float]],
+                            name: str | None = None) -> ScenarioSet:
+    """One scenario per ``(rho_pq, rho_va)`` pair, all on the same network."""
+    penalties = list(penalties)
+    if not penalties:
+        raise ConfigurationError("penalty_sweep_scenarios needs at least one pair")
+    scenarios = []
+    for rho_pq, rho_va in penalties:
+        scenarios.append(Scenario(
+            name=f"{network.name}@rho({rho_pq:g},{rho_va:g})",
+            network=network, rho_pq=float(rho_pq), rho_va=float(rho_va)))
+    return ScenarioSet(scenarios=tuple(scenarios),
+                       name=name or f"{network.name}-penalty-sweep")
+
+
+# --------------------------------------------------------------------- #
+def _connected_without(network: Network, outage: int) -> bool:
+    """Whether the bus graph stays connected after removing one branch."""
+    keep = np.arange(network.n_branch) != outage
+    components = connected_components_from_edges(
+        network.n_bus, network.branch_from[keep], network.branch_to[keep])
+    return len(components) == 1

@@ -1,0 +1,135 @@
+"""Segment bookkeeping for scenario-stacked component arrays.
+
+A batch of S scenarios is the disjoint union of S component sets: buses,
+generators, and branches of every scenario are concatenated along their
+component axes (scenario-major, so each scenario occupies one contiguous
+block).  :class:`ScenarioLayout` records where each scenario's block lives —
+offsets, per-element segment ids, per-scenario consensus penalties — and is
+what the per-scenario reductions (residual norms, ``β``/``λ`` updates,
+convergence masks) are computed against.
+
+The layout is deliberately ignorant of the ADMM coupling-group names: it
+knows the three component axes (``"gen"``, ``"branch"``, ``"bus"``) and the
+solver maps its groups onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.grid.network import Network
+
+#: Component axes a layout keeps segment information for.
+AXES = ("gen", "branch", "bus")
+
+
+@dataclass(frozen=True)
+class ScenarioLayout:
+    """Where each scenario lives inside scenario-stacked component arrays.
+
+    ``*_offsets`` are length ``S + 1`` cumulative arrays (scenario ``s``
+    occupies ``[offsets[s], offsets[s + 1])``); ``*_segments`` map each
+    stacked element to its owning scenario.  ``rho_pq`` / ``rho_va`` hold the
+    per-scenario consensus penalties so per-scenario reductions can use exact
+    scalar values instead of per-element arrays.
+    """
+
+    names: tuple[str, ...]
+    gen_offsets: np.ndarray
+    branch_offsets: np.ndarray
+    bus_offsets: np.ndarray
+    rho_pq: np.ndarray
+    rho_va: np.ndarray
+    networks: tuple = ()
+    gen_segments: np.ndarray = field(default=None, repr=False)
+    branch_segments: np.ndarray = field(default=None, repr=False)
+    bus_segments: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for axis in AXES:
+            if getattr(self, f"{axis}_segments") is None:
+                object.__setattr__(self, f"{axis}_segments",
+                                   segments_from_offsets(getattr(self, f"{axis}_offsets")))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.names)
+
+    def offsets(self, axis: str) -> np.ndarray:
+        """Cumulative offsets of one component axis (length ``S + 1``)."""
+        _check_axis(axis)
+        return getattr(self, f"{axis}_offsets")
+
+    def segments(self, axis: str) -> np.ndarray:
+        """Owning-scenario id of every stacked element of one axis."""
+        _check_axis(axis)
+        return getattr(self, f"{axis}_segments")
+
+    def block(self, axis: str, scenario: int) -> slice:
+        """Contiguous slice of one scenario's block on one axis."""
+        offsets = self.offsets(axis)
+        return slice(int(offsets[scenario]), int(offsets[scenario + 1]))
+
+    def counts(self, axis: str) -> np.ndarray:
+        """Per-scenario element counts of one axis."""
+        return np.diff(self.offsets(axis))
+
+    def network(self, scenario: int):
+        """The scenario's :class:`Network` (when the layout carries them)."""
+        if not self.networks:
+            raise ValueError("this layout does not carry per-scenario networks")
+        return self.networks[scenario]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single(cls, name: str, n_gen: int, n_branch: int, n_bus: int,
+               rho_pq: float, rho_va: float, network=None) -> "ScenarioLayout":
+        """Trivial one-scenario layout (the classic single-network solve)."""
+        return cls(
+            names=(name,),
+            gen_offsets=np.array([0, n_gen]),
+            branch_offsets=np.array([0, n_branch]),
+            bus_offsets=np.array([0, n_bus]),
+            rho_pq=np.array([float(rho_pq)]),
+            rho_va=np.array([float(rho_va)]),
+            networks=(network,) if network is not None else (),
+        )
+
+    @classmethod
+    def stack(cls, networks: Sequence["Network"], names: Sequence[str],
+              rho_pq: Sequence[float], rho_va: Sequence[float],
+              n_gen: Sequence[int]) -> "ScenarioLayout":
+        """Layout of the disjoint union of ``networks`` (scenario-major).
+
+        ``n_gen`` is the number of *active* generators per scenario (the
+        solver drops out-of-service generators from its component axis, so
+        the network's own generator count is not the stacked one).
+        """
+        def cumulative(counts: Sequence[int]) -> np.ndarray:
+            return np.concatenate([[0], np.cumsum(np.asarray(counts, dtype=int))])
+
+        return cls(
+            names=tuple(names),
+            gen_offsets=cumulative(n_gen),
+            branch_offsets=cumulative([net.n_branch for net in networks]),
+            bus_offsets=cumulative([net.n_bus for net in networks]),
+            rho_pq=np.asarray(rho_pq, dtype=float),
+            rho_va=np.asarray(rho_va, dtype=float),
+            networks=tuple(networks),
+        )
+
+
+def segments_from_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Expand cumulative offsets into a per-element segment-id array."""
+    counts = np.diff(np.asarray(offsets, dtype=int))
+    return np.repeat(np.arange(counts.shape[0]), counts)
+
+
+def _check_axis(axis: str) -> None:
+    if axis not in AXES:
+        raise ValueError(f"unknown component axis {axis!r}; choose from {AXES}")

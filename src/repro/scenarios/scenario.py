@@ -1,0 +1,129 @@
+"""Scenario and scenario-set containers.
+
+A :class:`Scenario` is one independent ACOPF instance — a network plus
+optional per-scenario consensus-penalty overrides.  A :class:`ScenarioSet`
+is an ordered collection of scenarios destined for one batched solve: the
+ADMM subproblems are component-separable and scenarios never couple, so a
+set of S scenarios is solved as the disjoint union of S component sets in
+one kernel stream (the batch axis plays the role of the paper's GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.grid.network import Network
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One independent ACOPF instance inside a batch.
+
+    Attributes
+    ----------
+    name:
+        Label used for the reported per-scenario solution.
+    network:
+        The grid this scenario solves (already perturbed: scaled loads,
+        outaged branch, ...).
+    rho_pq, rho_va:
+        Optional per-scenario consensus-penalty overrides.  ``None`` defers
+        to the batch solver's shared parameters (or the per-case Table I
+        heuristic when no shared parameters are given).
+    """
+
+    name: str
+    network: Network
+    rho_pq: float | None = None
+    rho_va: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rho_pq is not None and self.rho_pq <= 0:
+            raise ConfigurationError(f"scenario {self.name!r}: rho_pq must be positive")
+        if self.rho_va is not None and self.rho_va <= 0:
+            raise ConfigurationError(f"scenario {self.name!r}: rho_va must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """An ordered batch of scenarios for one stacked ADMM solve."""
+
+    scenarios: tuple[Scenario, ...]
+    name: str = "scenarios"
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("a scenario set needs at least one scenario")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    @property
+    def names(self) -> list[str]:
+        return [scenario.name for scenario in self.scenarios]
+
+    @property
+    def networks(self) -> list[Network]:
+        return [scenario.network for scenario in self.scenarios]
+
+    def extended(self, other: "ScenarioSet | Iterable[Scenario]") -> "ScenarioSet":
+        """A new set with the scenarios of ``other`` appended."""
+        extra = tuple(other.scenarios if isinstance(other, ScenarioSet) else other)
+        return ScenarioSet(scenarios=self.scenarios + extra, name=self.name)
+
+    def describe(self) -> str:
+        """One line per scenario (sizes and penalty overrides)."""
+        lines = [f"{self.name}: {len(self)} scenarios"]
+        for scenario in self.scenarios:
+            net = scenario.network
+            override = ""
+            if scenario.rho_pq is not None or scenario.rho_va is not None:
+                override = f"  rho=({scenario.rho_pq}, {scenario.rho_va})"
+            lines.append(f"  {scenario.name}: {net.n_bus} buses, {net.n_branch} branches,"
+                         f" {net.n_gen_active} gens{override}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_networks(cls, networks: Sequence[Network],
+                      names: Sequence[str] | None = None,
+                      name: str = "scenarios") -> "ScenarioSet":
+        """Wrap plain networks (one scenario each) into a set."""
+        if names is None:
+            names = [net.name for net in networks]
+        if len(names) != len(networks):
+            raise ConfigurationError(
+                f"{len(networks)} networks but {len(names)} scenario names")
+        return cls(scenarios=tuple(Scenario(name=n, network=net)
+                                   for n, net in zip(names, networks)), name=name)
+
+
+def as_scenario_set(scenarios) -> ScenarioSet:
+    """Coerce the batch-solver input into a :class:`ScenarioSet`.
+
+    Accepts a :class:`ScenarioSet`, a sequence of :class:`Scenario`, a
+    sequence of :class:`Network`, or a single :class:`Network`.
+    """
+    if isinstance(scenarios, ScenarioSet):
+        return scenarios
+    if isinstance(scenarios, Network):
+        return ScenarioSet.from_networks([scenarios])
+    items = list(scenarios)
+    if not items:
+        raise ConfigurationError("a scenario set needs at least one scenario")
+    if all(isinstance(item, Scenario) for item in items):
+        return ScenarioSet(scenarios=tuple(items))
+    if all(isinstance(item, Network) for item in items):
+        return ScenarioSet.from_networks(items)
+    raise ConfigurationError(
+        "scenarios must be a ScenarioSet, Scenario sequence, or Network sequence")

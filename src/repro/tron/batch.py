@@ -25,7 +25,13 @@ BACKENDS = ("batched", "loop")
 
 
 class BatchProblem(Protocol):
-    """A batch of independent bound-constrained problems of equal dimension."""
+    """A batch of independent bound-constrained problems of equal dimension.
+
+    Problems may additionally implement ``select(index) -> BatchProblem``
+    returning a one-problem view; the ``"loop"`` backend then evaluates each
+    problem on a single-row slice instead of tiling the query point across
+    the whole batch (which costs O(B) redundant work per callback).
+    """
 
     lb: np.ndarray
     ub: np.ndarray
@@ -63,6 +69,12 @@ class QuadraticBatchProblem:
     def hessian(self, x: np.ndarray) -> np.ndarray:
         return np.broadcast_to(self.q, x.shape + (x.shape[-1],)).copy()
 
+    def select(self, index: int) -> "QuadraticBatchProblem":
+        """One-problem view (single-row evaluation in the loop backend)."""
+        sl = slice(index, index + 1)
+        return QuadraticBatchProblem(q=self.q[sl], c=self.c[sl],
+                                     lb=self.lb[sl], ub=self.ub[sl])
+
 
 def solve_batch(problem: BatchProblem, x0: np.ndarray,
                 options: TronOptions | None = None,
@@ -81,17 +93,24 @@ def solve_batch(problem: BatchProblem, x0: np.ndarray,
     total_feval = 0
     lb = np.broadcast_to(problem.lb, x0.shape)
     ub = np.broadcast_to(problem.ub, x0.shape)
+    select = getattr(problem, "select", None)
     for b in range(batch):
         idx = slice(b, b + 1)
 
-        def obj(x: np.ndarray, _i=b) -> np.ndarray:
-            return _call_single(problem.objective, x, _i, batch)
+        if select is not None:
+            # Single-row evaluation: the problem can slice its own data, so
+            # each callback costs O(1) instead of O(B) tiled work.
+            single = select(b)
+            obj, grad, hess = single.objective, single.gradient, single.hessian
+        else:
+            def obj(x: np.ndarray, _i=b) -> np.ndarray:
+                return _call_single(problem.objective, x, _i, batch)
 
-        def grad(x: np.ndarray, _i=b) -> np.ndarray:
-            return _call_single(problem.gradient, x, _i, batch)
+            def grad(x: np.ndarray, _i=b) -> np.ndarray:
+                return _call_single(problem.gradient, x, _i, batch)
 
-        def hess(x: np.ndarray, _i=b) -> np.ndarray:
-            return _call_single(problem.hessian, x, _i, batch)
+            def hess(x: np.ndarray, _i=b) -> np.ndarray:
+                return _call_single(problem.hessian, x, _i, batch)
 
         res = tron_solve_batch(obj, grad, hess, x0[idx], lb[idx], ub[idx], options)
         xs.append(res.x[0])
@@ -107,12 +126,13 @@ def solve_batch(problem: BatchProblem, x0: np.ndarray,
 
 
 def _call_single(fn, x: np.ndarray, index: int, batch: int) -> np.ndarray:
-    """Evaluate a batched callback for a single problem.
+    """Evaluate a batched callback for a single problem (tiling fallback).
 
-    The callbacks of a :class:`BatchProblem` expect a full batch; to evaluate
-    problem ``index`` alone we tile the query point across the batch axis and
-    slice the result.  This costs redundant work but keeps the loop backend a
-    pure re-expression of the batched one (useful for equivalence testing).
+    The callbacks of a :class:`BatchProblem` expect a full batch; when the
+    problem offers no ``select`` view, the only way to evaluate problem
+    ``index`` alone is to tile the query point across the batch axis and
+    slice the result — O(B) redundant work per callback, kept purely as the
+    fallback for problems whose arrays cannot be sliced.
     """
     tiled = np.repeat(x, batch, axis=0)
     out = np.asarray(fn(tiled))

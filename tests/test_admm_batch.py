@@ -1,0 +1,187 @@
+"""Batched-vs-sequential ADMM equivalence and batch-driver mechanics.
+
+The scenario-batched solver is designed so that every scenario's iteration
+trajectory is *bit for bit* the one a standalone solve would produce:
+scenario blocks are contiguous, all kernels are component-separable, and
+every reduction (residual norms, ``β`` / ``λ`` updates, convergence masks)
+is per-scenario.  The equivalence tests therefore assert exact agreement of
+iteration counts and near-exact agreement of objectives — far tighter than
+the 1e-6 acceptance tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.admm import (
+    AdmmParameters,
+    BatchAdmmSolver,
+    scenario_parameters,
+    solve_acopf_admm,
+    solve_acopf_admm_batch,
+)
+from repro.admm.batch_solver import extract_scenario_state
+from repro.parallel.device import SimulatedDevice
+from repro.scenarios import Scenario, ScenarioSet, load_scaling_scenarios, penalty_sweep_scenarios
+
+#: Budget small enough for unit-test latency; equivalence holds regardless.
+FAST = dict(max_outer=2, max_inner=15)
+
+
+def assert_solutions_match(batched, sequential, tol=1e-6):
+    assert batched.converged == sequential.converged
+    assert batched.inner_iterations == sequential.inner_iterations
+    assert batched.outer_iterations == sequential.outer_iterations
+    assert abs(batched.objective - sequential.objective) <= tol
+    assert abs(batched.max_constraint_violation
+               - sequential.max_constraint_violation) <= tol
+    assert np.allclose(batched.vm, sequential.vm, atol=tol)
+    assert np.allclose(batched.va, sequential.va, atol=tol)
+    assert np.allclose(batched.pg, sequential.pg, atol=tol)
+
+
+class TestEquivalenceFast:
+    def test_single_scenario_batch_matches_plain_solver(self, case3):
+        params = AdmmParameters(**FAST)
+        batched = solve_acopf_admm_batch([case3], params=params)
+        sequential = solve_acopf_admm(case3, params=params)
+        assert len(batched) == 1
+        assert_solutions_match(batched[0], sequential, tol=1e-12)
+
+    def test_mixed_networks_batch(self, case3, case5, case9):
+        params = AdmmParameters(**FAST)
+        scenario_set = ScenarioSet.from_networks([case3, case9, case5])
+        batched = solve_acopf_admm_batch(scenario_set, params=params)
+        for scenario, solution in zip(scenario_set, batched):
+            sequential = solve_acopf_admm(
+                scenario.network, params=scenario_parameters(scenario, params))
+            assert_solutions_match(solution, sequential, tol=1e-9)
+
+    def test_penalty_sweep_batch(self, case3):
+        scenario_set = penalty_sweep_scenarios(case3, [(1e2, 1e4), (4e2, 4e4)])
+        params = AdmmParameters(**FAST)
+        batched = solve_acopf_admm_batch(scenario_set, params=params)
+        for scenario, solution in zip(scenario_set, batched):
+            sequential = solve_acopf_admm(
+                scenario.network, params=scenario_parameters(scenario, params))
+            assert_solutions_match(solution, sequential, tol=1e-9)
+        # Different penalties really were applied per scenario.
+        assert batched[0].iteration_log[0].primal_residual \
+            != batched[1].iteration_log[0].primal_residual
+
+    def test_iteration_logs_match(self, case3, case5):
+        params = AdmmParameters(**FAST)
+        scenario_set = ScenarioSet.from_networks([case3, case5])
+        batched = solve_acopf_admm_batch(scenario_set, params=params)
+        for scenario, solution in zip(scenario_set, batched):
+            sequential = solve_acopf_admm(
+                scenario.network, params=scenario_parameters(scenario, params))
+            assert len(solution.iteration_log) == len(sequential.iteration_log)
+            for b_entry, s_entry in zip(solution.iteration_log,
+                                        sequential.iteration_log):
+                assert b_entry.inner_iterations == s_entry.inner_iterations
+                assert b_entry.beta == s_entry.beta
+                assert b_entry.z_norm == pytest.approx(s_entry.z_norm, abs=1e-12)
+
+
+class TestEquivalenceCase9:
+    """The acceptance-criterion configuration: ≥4 scenarios of case9."""
+
+    @pytest.fixture(scope="class")
+    def params(self):
+        # A budget where the light-load scenario converges a full outer
+        # round before the others (exercising the freeze path) while the
+        # test stays fast.
+        return AdmmParameters(max_outer=5, max_inner=120, outer_tol=2e-2)
+
+    @pytest.fixture(scope="class")
+    def scenario_set(self, case9):
+        return load_scaling_scenarios(case9, [0.4, 0.9, 1.0, 1.1])
+
+    @pytest.fixture(scope="class")
+    def batched(self, scenario_set, params):
+        return solve_acopf_admm_batch(scenario_set, params=params)
+
+    def test_matches_sequential_solves(self, scenario_set, params, batched):
+        for scenario, solution in zip(scenario_set, batched):
+            sequential = solve_acopf_admm(
+                scenario.network, params=scenario_parameters(scenario, params))
+            assert_solutions_match(solution, sequential, tol=1e-6)
+
+    def test_all_converged(self, batched):
+        assert all(solution.converged for solution in batched)
+
+    def test_one_scenario_converges_early(self, batched):
+        # The lightly loaded scenario freezes before the others; the shared
+        # kernels keep running on the full arrays without disturbing it.
+        inner = [solution.inner_iterations for solution in batched]
+        outer = [solution.outer_iterations for solution in batched]
+        assert min(outer) < max(outer)
+        assert inner[0] == min(inner)
+        assert batched[0].solve_seconds < batched[-1].solve_seconds
+
+
+class TestBatchDriverMechanics:
+    def test_time_limit_returns_all_solutions(self, case9):
+        scenario_set = load_scaling_scenarios(case9, [0.9, 1.0])
+        solutions = solve_acopf_admm_batch(
+            scenario_set, params=AdmmParameters(max_outer=20, max_inner=1000),
+            time_limit=0.3)
+        assert len(solutions) == 2
+        assert all(solution is not None for solution in solutions)
+
+    def test_device_records_stacked_throughput(self, case3):
+        device = SimulatedDevice()
+        scenario_set = ScenarioSet.from_networks([case3, case3])
+        solve_acopf_admm_batch(scenario_set, params=AdmmParameters(**FAST),
+                               device=device)
+        record = device.kernels["branch_update"]
+        n_branch = 2 * case3.n_branch
+        assert record.total_elements == record.launches * n_branch
+        assert device.as_dict()["kernels"]["branch_update"]["total_elements"] > 0
+
+    def test_extracted_state_warm_starts_plain_solver(self, case3, case5):
+        params = AdmmParameters(**FAST)
+        solver = BatchAdmmSolver(ScenarioSet.from_networks([case3, case5]),
+                                 params=params)
+        solutions = solver.solve()
+        state = extract_scenario_state(solver.data, solver.last_state, 1)
+        assert state.w.shape == (case5.n_bus,)
+        warm = solve_acopf_admm(case5, params=params, warm_start=state)
+        assert np.isfinite(warm.objective)
+        # The snapshot in the returned solution is detached from the batch.
+        assert solutions[1].state.pg.shape[0] == solver.data.scenario_layout.counts("gen")[1]
+
+    def test_scenario_parameters_resolution(self, case3):
+        scenario = Scenario(name="s", network=case3, rho_pq=123.0)
+        params = AdmmParameters(rho_pq=1.0, rho_va=2.0, max_outer=7)
+        resolved = scenario_parameters(scenario, params)
+        assert resolved.rho_pq == 123.0   # scenario override wins
+        assert resolved.rho_va == 2.0     # falls back to shared params
+        assert resolved.max_outer == 7
+        default = scenario_parameters(Scenario(name="d", network=case3))
+        assert default.rho_pq > 0  # Table-I heuristic fallback
+
+    def test_scenario_parameters_partial_override_uses_heuristic(self):
+        from repro.admm.parameters import suggest_penalties
+        from repro.grid.cases import load_case
+
+        # 1354pegase's Table-I penalties differ from the dataclass defaults,
+        # so this distinguishes heuristic fallback from default fallback.
+        network = load_case("1354pegase_like")
+        scenario = Scenario(name="s", network=network, rho_pq=123.0)
+        resolved = scenario_parameters(scenario)  # no shared params
+        assert resolved.rho_va == suggest_penalties(network)[1]
+        assert resolved.rho_va != AdmmParameters().rho_va
+        assert resolved.rho_pq == 123.0
+
+    def test_equivalence_with_multiple_auglag_iterations(self, case3, case9):
+        # auglag_max_iter > 1 re-solves branch subproblems; a scenario whose
+        # own line-limit loop has finished must stay frozen through the
+        # re-solves other scenarios trigger.
+        params = AdmmParameters(max_outer=1, max_inner=8, auglag_max_iter=3)
+        scenario_set = ScenarioSet.from_networks([case3, case9])
+        batched = solve_acopf_admm_batch(scenario_set, params=params)
+        for scenario, solution in zip(scenario_set, batched):
+            sequential = solve_acopf_admm(
+                scenario.network, params=scenario_parameters(scenario, params))
+            assert_solutions_match(solution, sequential, tol=1e-9)

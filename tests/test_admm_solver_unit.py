@@ -15,7 +15,6 @@ from repro.admm.residuals import ResidualInfo, compute_residuals
 from repro.admm.state import cold_start_state
 from repro.admm.artificial import update_multipliers
 from repro.exceptions import ConfigurationError
-from repro.grid.cases import load_case
 
 TINY = dict(max_outer=2, max_inner=15)
 

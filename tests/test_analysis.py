@@ -7,7 +7,6 @@ from repro.analysis import constraint_violation, evaluate_solution, relative_obj
 from repro.analysis.experiments import render_table1, table1
 from repro.analysis.reporting import render_series, render_table, summarize_speedup
 from repro.baseline import solve_acopf_ipm
-from repro.grid.cases import load_case
 
 
 class TestMetrics:

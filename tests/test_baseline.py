@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from scipy import sparse
 from scipy.optimize import minimize
 
 from repro.baseline import InteriorPointOptions, solve_acopf_ipm, solve_nlp

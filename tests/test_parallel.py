@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import DimensionError
 from repro.parallel import SimulatedDevice, elementwise_kernel, launch_over_elements
-from repro.parallel.kernels import scatter_add, segment_sum
+from repro.parallel.kernels import scatter_add, segment_max, segment_sum
 
 
 class TestSimulatedDevice:
@@ -46,6 +46,30 @@ class TestSimulatedDevice:
         device.launch("k", lambda: sum(range(1000)))
         rec = device.kernels["k"]
         assert rec.mean_seconds == pytest.approx(rec.total_seconds)
+
+    def test_element_throughput_tracked(self):
+        device = SimulatedDevice()
+        device.launch("k", lambda: sum(range(10000)), elements=64)
+        device.launch("k", lambda: sum(range(10000)), elements=64)
+        rec = device.kernels["k"]
+        assert rec.total_elements == 128
+        assert rec.elements_per_second > 0
+        assert "elem/s" in device.report()
+
+    def test_throughput_zero_without_elements(self):
+        device = SimulatedDevice()
+        device.launch("k", lambda: None)
+        assert device.kernels["k"].elements_per_second == 0.0
+        assert "elem/s" not in device.report()
+
+    def test_as_dict_round_trip(self):
+        device = SimulatedDevice(name="dev")
+        device.launch("a", lambda: None, elements=8)
+        snapshot = device.as_dict()
+        assert snapshot["device"] == "dev"
+        assert snapshot["kernels"]["a"]["launches"] == 1
+        assert snapshot["kernels"]["a"]["total_elements"] == 8
+        assert snapshot["total_seconds"] == pytest.approx(device.total_kernel_seconds())
 
 
 class TestKernels:
@@ -98,3 +122,31 @@ class TestKernels:
         target = np.zeros(3)
         scatter_add(target, np.array([0, 0, 2]), np.array([1.0, 2.0, 5.0]))
         assert np.allclose(target, [3.0, 0.0, 5.0])
+
+    def test_segment_sum_single_segment_matches_global_sum(self, rng):
+        values = rng.normal(size=17)
+        out = segment_sum(values, np.zeros(17, dtype=int), 1)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(values.sum())
+
+    def test_segment_sum_all_segments_empty(self):
+        out = segment_sum(np.zeros(0), np.zeros(0, dtype=int), 3)
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_segment_max(self):
+        values = np.array([1.0, -2.0, 3.0, 0.5])
+        ids = np.array([0, 1, 0, 1])
+        assert np.allclose(segment_max(values, ids, 2), [3.0, 0.5])
+
+    def test_segment_max_empty_segment_gets_initial(self):
+        out = segment_max(np.array([-5.0]), np.array([1]), 3, initial=0.0)
+        assert np.allclose(out, [0.0, -5.0, 0.0])
+
+    def test_segment_max_no_values(self):
+        out = segment_max(np.zeros(0), np.zeros(0, dtype=int), 2, initial=7.0)
+        assert np.allclose(out, [7.0, 7.0])
+
+    def test_segment_max_single_scenario_matches_global_max(self, rng):
+        values = np.abs(rng.normal(size=23))
+        out = segment_max(values, np.zeros(23, dtype=int), 1)
+        assert out[0] == values.max()

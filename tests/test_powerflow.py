@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConvergenceError
-from repro.grid.cases import load_case
 from repro.grid.components import BusType
 from repro.powerflow import branch_flows, build_ybus, dc_power_flow, solve_power_flow
 from repro.powerflow.flows import line_limit_violation, power_balance_residual

@@ -1,0 +1,194 @@
+"""Tests for the scenario subsystem: generators, layout, and stacking."""
+
+import numpy as np
+import pytest
+
+from repro.admm.data import COUPLING_GROUPS, ComponentData
+from repro.admm.parameters import AdmmParameters
+from repro.admm.state import cold_start_state
+from repro.exceptions import ConfigurationError, DataError
+from repro.scenarios import (
+    Scenario,
+    ScenarioSet,
+    as_scenario_set,
+    contingency_scenarios,
+    load_scaling_scenarios,
+    monte_carlo_load_scenarios,
+    penalty_sweep_scenarios,
+    segments_from_offsets,
+)
+
+
+class TestScenarioSet:
+    def test_from_networks(self, case3, case9):
+        scenario_set = ScenarioSet.from_networks([case3, case9])
+        assert len(scenario_set) == 2
+        assert scenario_set.names == ["case3", "case9"]
+        assert scenario_set[1].network is case9
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSet(scenarios=())
+
+    def test_invalid_penalty_override_rejected(self, case3):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="bad", network=case3, rho_pq=-1.0)
+
+    def test_as_scenario_set_coercions(self, case3, case9):
+        assert len(as_scenario_set(case3)) == 1
+        assert len(as_scenario_set([case3, case9])) == 2
+        scenario = Scenario(name="s", network=case3)
+        assert as_scenario_set([scenario])[0] is scenario
+        existing = ScenarioSet.from_networks([case3])
+        assert as_scenario_set(existing) is existing
+
+    def test_extended_and_describe(self, case3, case9):
+        base = ScenarioSet.from_networks([case3])
+        grown = base.extended(ScenarioSet.from_networks([case9]))
+        assert len(grown) == 2
+        assert "case9" in grown.describe()
+
+
+class TestGenerators:
+    def test_load_scaling(self, case9):
+        scenario_set = load_scaling_scenarios(case9, [0.8, 1.0, 1.2])
+        assert len(scenario_set) == 3
+        assert len(set(scenario_set.names)) == 3
+        scaled = scenario_set[0].network
+        assert np.allclose(scaled.bus_pd, 0.8 * case9.bus_pd)
+        # The base network is untouched.
+        assert scenario_set[1].network.bus_pd == pytest.approx(case9.bus_pd)
+
+    def test_monte_carlo_deterministic(self, case9):
+        a = monte_carlo_load_scenarios(case9, 3, sigma=0.1, seed=5)
+        b = monte_carlo_load_scenarios(case9, 3, sigma=0.1, seed=5)
+        for sa, sb in zip(a, b):
+            assert np.allclose(sa.network.bus_pd, sb.network.bus_pd)
+        assert not np.allclose(a[0].network.bus_pd, a[1].network.bus_pd)
+
+    def test_contingencies_skip_islanding_outages(self, case9):
+        scenario_set = contingency_scenarios(case9)
+        # case9's three generator step-up transformers are bridges; their
+        # outage would island a generator bus and must be skipped.
+        assert 0 < len(scenario_set) < case9.n_branch
+        for scenario in scenario_set:
+            assert scenario.network.n_branch == case9.n_branch - 1
+
+    def test_explicit_islanding_outage_rejected(self, case9):
+        kept = {int(name.rsplit(":", 1)[1])
+                for name in contingency_scenarios(case9).names}
+        bridges = sorted(set(range(case9.n_branch)) - kept)
+        assert bridges
+        with pytest.raises(DataError):
+            contingency_scenarios(case9, branch_indices=[bridges[0]])
+
+    def test_contingency_include_base(self, case9):
+        scenario_set = contingency_scenarios(case9, include_base=True)
+        assert scenario_set[0].network is case9
+
+    def test_penalty_sweep(self, case9):
+        scenario_set = penalty_sweep_scenarios(case9, [(1e2, 1e4), (4e2, 4e4)])
+        assert scenario_set[0].rho_pq == 1e2
+        assert scenario_set[1].rho_va == 4e4
+        assert scenario_set[0].network is case9
+
+
+class TestBranchOutage:
+    def test_outage_reduces_live_branches(self, case9):
+        outaged = case9.with_branch_outage(1)
+        assert outaged.n_branch == case9.n_branch - 1
+        assert case9.n_branch == 9  # original untouched
+        assert len(outaged.branches) == len(case9.branches)
+
+    def test_out_of_range_rejected(self, case9):
+        with pytest.raises(DataError):
+            case9.with_branch_outage(case9.n_branch)
+
+    def test_shared_branch_instance_outages_one_circuit(self, case3):
+        # A double circuit modelled as the same Branch instance listed twice:
+        # only the requested circuit goes out, not both.
+        from repro.grid.network import Network
+
+        circuit = case3.branches[0]
+        doubled = Network(name="doubled", base_mva=case3.base_mva,
+                          buses=list(case3.buses),
+                          branches=[circuit, circuit] + list(case3.branches[1:]),
+                          generators=list(case3.generators), costs=list(case3.costs))
+        outaged = doubled.with_branch_outage(0)
+        assert outaged.n_branch == doubled.n_branch - 1
+
+
+class TestStacking:
+    @pytest.fixture(scope="class")
+    def stacked(self, case3, case9):
+        params = AdmmParameters()
+        data = ComponentData.from_scenarios(
+            [case3, case9], params, penalties=[(100.0, 1e4), (400.0, 4e4)])
+        return data
+
+    def test_layout_offsets_and_segments(self, stacked, case3, case9):
+        layout = stacked.scenario_layout
+        assert layout.n_scenarios == 2
+        assert list(layout.bus_offsets) == [0, case3.n_bus, case3.n_bus + case9.n_bus]
+        assert list(layout.counts("branch")) == [case3.n_branch, case9.n_branch]
+        assert np.array_equal(layout.segments("bus"),
+                              np.repeat([0, 1], [case3.n_bus, case9.n_bus]))
+
+    def test_bus_indices_offset_into_own_block(self, stacked, case3):
+        second = stacked.scenario_layout.block("branch", 1)
+        assert stacked.branch_from[second].min() >= case3.n_bus
+        first = stacked.scenario_layout.block("branch", 0)
+        assert stacked.branch_from[first].max() < case3.n_bus
+
+    def test_rho_piecewise_constant(self, stacked, case3):
+        rho = stacked.rho["gp"]
+        n3 = case3.n_gen
+        assert np.allclose(rho[:n3], 100.0)
+        assert np.allclose(rho[n3:], 400.0)
+        assert np.allclose(stacked.rho["wi"][:case3.n_branch], 1e4)
+
+    def test_blocks_match_standalone_layout(self, stacked, case9):
+        standalone = ComponentData.from_network(
+            case9, AdmmParameters(rho_pq=400.0, rho_va=4e4))
+        block = stacked.scenario_layout.block("gen", 1)
+        assert np.array_equal(stacked.gen_pmax[block], standalone.gen_pmax)
+        branch_block = stacked.scenario_layout.block("branch", 1)
+        assert np.array_equal(stacked.branch_rate_sq[branch_block],
+                              standalone.branch_rate_sq)
+
+    def test_cold_start_blocks_match_standalone(self, stacked, case9):
+        standalone = ComponentData.from_network(
+            case9, AdmmParameters(rho_pq=400.0, rho_va=4e4))
+        stacked_state = cold_start_state(stacked)
+        single_state = cold_start_state(standalone)
+        branch_block = stacked.scenario_layout.block("branch", 1)
+        assert np.array_equal(stacked_state.pij[branch_block], single_state.pij)
+        bus_block = stacked.scenario_layout.block("bus", 1)
+        assert np.array_equal(stacked_state.w[bus_block], single_state.w)
+        for group in COUPLING_GROUPS:
+            block = stacked.group_block(group, 1)
+            assert np.array_equal(stacked_state.y[group][block], single_state.y[group])
+
+    def test_per_element_broadcast(self, stacked):
+        values = np.array([1.0, 2.0])
+        expanded = stacked.per_element(values, "wi")
+        layout = stacked.scenario_layout
+        assert expanded.shape[0] == stacked.n_branch
+        assert np.all(expanded[layout.segments("branch") == 1] == 2.0)
+        assert stacked.per_element(3.0, "wi") == 3.0
+
+    def test_single_scenario_layout_is_trivial(self, case9):
+        data = ComponentData.from_network(case9, AdmmParameters())
+        layout = data.scenario_layout
+        assert layout.n_scenarios == 1
+        assert layout.network(0) is case9
+        assert np.all(layout.segments("gen") == 0)
+
+
+class TestSegmentsFromOffsets:
+    def test_basic(self):
+        assert np.array_equal(segments_from_offsets(np.array([0, 2, 2, 5])),
+                              [0, 0, 2, 2, 2])
+
+    def test_empty(self):
+        assert segments_from_offsets(np.array([0])).size == 0

@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baseline.interior_point import InteriorPointOptions
 from repro.exceptions import ConfigurationError
-from repro.grid.cases import load_case
 from repro.tracking import apply_ramp_limits, make_load_profile, track_horizon
 from repro.tracking.horizon import relative_gaps
 from repro.tracking.ramping import ramp_limits

@@ -1,7 +1,6 @@
 """Tests for the Cauchy-point search and the Steihaug CG solver."""
 
 import numpy as np
-import pytest
 
 from repro.tron.cauchy import _quadratic_model, cauchy_point
 from repro.tron.cg import steihaug_cg

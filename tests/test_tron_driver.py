@@ -122,6 +122,58 @@ class TestBackendsAndOptions:
         assert np.allclose(batched.f, loop.f, atol=1e-6)
         assert np.allclose(batched.x, loop.x, atol=1e-4)
 
+    def test_loop_backend_single_row_evaluation(self, rng):
+        """With ``select``, loop callbacks see (1, n) points, not tiled batches."""
+        problem = random_convex_qp_batch(rng, 6, 4)
+        x0 = rng.uniform(-1, 1, (6, 4))
+        seen_shapes = []
+
+        class Spy:
+            def __init__(self, single):
+                self.single = single
+                self.lb, self.ub = single.lb, single.ub
+
+            def objective(self, x):
+                seen_shapes.append(x.shape[0])
+                return self.single.objective(x)
+
+            def gradient(self, x):
+                return self.single.gradient(x)
+
+            def hessian(self, x):
+                return self.single.hessian(x)
+
+        class Wrapper:
+            lb, ub = problem.lb, problem.ub
+            objective = staticmethod(problem.objective)
+            gradient = staticmethod(problem.gradient)
+            hessian = staticmethod(problem.hessian)
+
+            @staticmethod
+            def select(index):
+                return Spy(problem.select(index))
+
+        result = solve_batch(Wrapper(), x0, backend="loop")
+        reference = solve_batch(problem, x0, backend="batched")
+        assert seen_shapes and all(shape == 1 for shape in seen_shapes)
+        assert np.allclose(result.f, reference.f, atol=1e-6)
+
+    def test_loop_backend_tiling_fallback_without_select(self, rng):
+        """Problems without ``select`` still work through the tiled fallback."""
+        problem = random_convex_qp_batch(rng, 5, 3)
+
+        class NoSelect:
+            lb, ub = problem.lb, problem.ub
+            objective = staticmethod(problem.objective)
+            gradient = staticmethod(problem.gradient)
+            hessian = staticmethod(problem.hessian)
+
+        x0 = rng.uniform(-1, 1, (5, 3))
+        fallback = solve_batch(NoSelect(), x0, backend="loop")
+        sliced = solve_batch(problem, x0, backend="loop")
+        assert np.allclose(fallback.x, sliced.x, atol=1e-10)
+        assert np.allclose(fallback.f, sliced.f, atol=1e-10)
+
     def test_unknown_backend_rejected(self, rng):
         problem = random_convex_qp_batch(rng, 2, 3)
         with pytest.raises(ConfigurationError):
