@@ -14,9 +14,14 @@ Environment knobs (all optional):
     Case used for the warm-start tracking figures (default ``case9``).
 ``REPRO_BENCH_PERIODS``
     Number of tracking periods (default 12; the paper uses 30).
+``REPRO_BENCH_SMOKE``
+    ``1`` switches the throughput benchmarks to reduced iteration budgets
+    (the CI benchmark-smoke job); assertions that need full budgets relax.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -27,6 +32,17 @@ from repro.analysis.experiments import (
     table2,
     tracking_experiment,
 )
+
+
+def smoke_mode() -> bool:
+    """Whether the reduced-size benchmark mode is requested (CI smoke job)."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "yes")
+
+
+@pytest.fixture(scope="session")
+def smoke() -> bool:
+    """Fixture view of :func:`smoke_mode` for the benchmark tests."""
+    return smoke_mode()
 
 
 @pytest.fixture(scope="session")

@@ -39,9 +39,15 @@ from repro.admm.generator_update import update_generators
 from repro.admm.parameters import AdmmParameters, suggest_penalties
 from repro.admm.residuals import compute_residuals
 from repro.admm.solver import AdmmIterationLog, AdmmSolution
-from repro.admm.state import AdmmState, cold_start_state
+from repro.admm.state import (
+    AdmmState,
+    cold_start_state,
+    scatter_state_scenarios,
+    select_state_scenarios,
+)
 from repro.analysis.metrics import constraint_violation
 from repro.logging_utils import get_logger
+from repro.parallel.compaction import Workspace, compaction_enabled
 from repro.parallel.device import SimulatedDevice
 from repro.scenarios import Scenario, ScenarioSet, as_scenario_set
 
@@ -83,20 +89,35 @@ class BatchAdmmSolver:
             penalties=[(p.rho_pq, p.rho_va) for p in per_scenario],
             names=self.scenarios.names)
         self.device = device or SimulatedDevice()
+        self.workspace = Workspace()
         self.last_state: AdmmState | None = None
 
     # ------------------------------------------------------------------ #
     def solve(self, time_limit: float | None = None) -> list[AdmmSolution]:
-        """Run the stacked two-level loop; one solution per scenario."""
-        data = self.data
+        """Run the stacked two-level loop; one solution per scenario.
+
+        **Stream compaction.**  A frozen scenario's kernels are pure waste
+        (idle thread blocks on the paper's GPU, dead vector width here), so
+        once the fraction of still-running scenarios among the *resident*
+        ones drops to ``params.compaction_threshold`` or below, the solver
+        derives a compacted :class:`~repro.scenarios.layout.ScenarioLayout`
+        over the survivors, packs their blocks of ``ComponentData`` and
+        ``AdmmState``, and continues the very same loop on the narrower
+        arrays.  Per-scenario trajectories are unaffected (kernels are
+        component-separable and reductions per-scenario), so results remain
+        bit-for-bit those of the full sweep; the kernel occupancy column of
+        :meth:`SimulatedDevice.report` shows the reclaimed width.  After the
+        last scenario freezes, the packed blocks are scattered back so
+        :attr:`last_state` covers the full stacked layout.
+        """
         params = self.params
         device = self.device
-        layout = data.scenario_layout
-        n_scenarios = layout.n_scenarios
+        data_full = self.data
+        n_scenarios = data_full.scenario_layout.n_scenarios
         start = time.perf_counter()
 
-        state = cold_start_state(data)
-        state.beta = np.full(n_scenarios, params.beta_init)
+        state_full = cold_start_state(data_full)
+        state_full.beta = np.full(n_scenarios, params.beta_init)
 
         outer = np.ones(n_scenarios, dtype=int)
         inner_in_round = np.zeros(n_scenarios, dtype=int)
@@ -106,80 +127,119 @@ class BatchAdmmSolver:
         logs: list[list[AdmmIterationLog]] = [[] for _ in range(n_scenarios)]
         solutions: list[AdmmSolution | None] = [None] * n_scenarios
 
-        while not frozen.all():
-            device.launch("generator_update", update_generators, data, state,
-                          elements=data.n_gen)
-            device.launch("branch_update", update_branches, data, state, params.tron,
-                          elements=data.n_branch)
-            device.launch("bus_update", update_buses, data, state,
-                          elements=data.n_bus)
-            device.launch("z_update", update_artificial_variables, data, state,
-                          elements=data.n_coupling)
-            primal = device.launch("multiplier_update", update_multipliers, data, state,
-                                   elements=data.n_coupling)
-            residual = compute_residuals(data, state, primal)
+        compact = compaction_enabled() and params.compaction_threshold > 0
+        live = np.arange(n_scenarios)  # global ids of the resident scenarios
+        data, state = data_full, state_full
 
-            active = ~frozen
-            inner_in_round[active] += 1
-            total_inner[active] += 1
+        while not frozen.all():
+            active_live = ~frozen[live]
+            n_active = int(active_live.sum())
+            if (compact and 0 < n_active < live.size
+                    and n_active <= params.compaction_threshold * live.size):
+                # Compact: pack the surviving scenarios' blocks and continue
+                # the loop on the narrower arrays.  The resident state is
+                # flushed first; a block stops evolving once compacted away
+                # (its reported solution is always the freeze-time snapshot).
+                if state is not state_full:
+                    scatter_state_scenarios(data_full, state_full, state, live)
+                live = live[active_live]
+                data = data_full.select_scenarios(live)
+                state = select_state_scenarios(data_full, state_full, live)
+                active_live = np.ones(live.size, dtype=bool)
+
+            layout = data.scenario_layout
+            active_gen = int(layout.counts("gen")[active_live].sum())
+            active_branch = int(layout.counts("branch")[active_live].sum())
+            active_bus = int(layout.counts("bus")[active_live].sum())
+            active_coupling = 2 * active_gen + 8 * active_branch
+
+            device.launch("generator_update", update_generators, data, state,
+                          elements=data.n_gen, active_elements=active_gen)
+            device.launch("branch_update", update_branches, data, state, params.tron,
+                          elements=data.n_branch, active_elements=active_branch,
+                          workspace=self.workspace)
+            device.launch("bus_update", update_buses, data, state,
+                          elements=data.n_bus, active_elements=active_bus)
+            device.launch("z_update", update_artificial_variables, data, state,
+                          elements=data.n_coupling, active_elements=active_coupling)
+            primal = device.launch("multiplier_update", update_multipliers, data, state,
+                                   elements=data.n_coupling, active_elements=active_coupling)
+            residual = compute_residuals(data, state, primal,
+                                         active=active_live if compact else None)
+
+            idx_active = live[active_live]
+            inner_in_round[idx_active] += 1
+            total_inner[idx_active] += 1
             time_up = (time_limit is not None
                        and time.perf_counter() - start > time_limit)
 
-            tol_inner = np.array([params.inner_tolerance(int(k)) for k in outer])
+            tol_inner = np.array([params.inner_tolerance(int(k)) for k in outer[live]])
             converged_inner = residual.converged_mask(
                 np.maximum(tol_inner, params.inner_tol_primal),
                 np.maximum(tol_inner, params.inner_tol_dual))
-            round_done = active & (
-                ((inner_in_round >= params.min_inner_iterations) & converged_inner)
-                | (inner_in_round >= params.max_inner))
+            round_done = active_live & (
+                ((inner_in_round[live] >= params.min_inner_iterations) & converged_inner)
+                | (inner_in_round[live] >= params.max_inner))
             if time_up:
-                round_done = active.copy()
+                round_done = active_live.copy()
             if not round_done.any():
                 continue
 
-            z_norm_new = update_outer_level(data, state, z_norm_prev, active=round_done)
+            z_norm_new = update_outer_level(data, state, z_norm_prev[live],
+                                            active=round_done)
             beta = np.asarray(state.beta)
             for s in np.flatnonzero(round_done):
-                logs[s].append(AdmmIterationLog(
-                    outer_iteration=int(outer[s]),
-                    inner_iterations=int(inner_in_round[s]),
+                g = int(live[s])
+                logs[g].append(AdmmIterationLog(
+                    outer_iteration=int(outer[g]),
+                    inner_iterations=int(inner_in_round[g]),
                     primal_residual=float(residual.primal_norms[s]),
                     dual_residual=float(residual.dual_norms[s]),
                     z_norm=float(z_norm_new[s]),
                     beta=float(beta[s])))
             if params.verbose:
                 for s in np.flatnonzero(round_done):
+                    g = int(live[s])
                     LOGGER.info("%s outer %2d: inner=%4d primal=%.3e dual=%.3e "
-                                "|z|=%.3e beta=%.1e", layout.names[s], outer[s],
-                                inner_in_round[s], residual.primal_norms[s],
+                                "|z|=%.3e beta=%.1e", layout.names[s], outer[g],
+                                inner_in_round[g], residual.primal_norms[s],
                                 residual.dual_norms[s], z_norm_new[s], beta[s])
-            z_norm_prev = z_norm_new
+            z_norm_prev[live] = z_norm_new
 
             newly_converged = round_done & (z_norm_new <= params.outer_tol)
-            exhausted = round_done & ~newly_converged & (outer >= params.max_outer)
+            exhausted = round_done & ~newly_converged & (outer[live] >= params.max_outer)
             to_freeze = newly_converged | exhausted
             if time_up:
-                to_freeze = active  # deadline: freeze everything still running
+                to_freeze = active_live  # deadline: freeze everything still running
             elapsed = time.perf_counter() - start
-            for s in np.flatnonzero(to_freeze & ~frozen):
-                solutions[s] = self._extract_solution(
-                    s, state, bool(newly_converged[s]), int(outer[s]),
-                    int(total_inner[s]), elapsed, logs[s])
-            frozen |= to_freeze
+            for s in np.flatnonzero(to_freeze & active_live):
+                g = int(live[s])
+                solutions[g] = self._extract_solution(
+                    data, state, s, bool(newly_converged[s]), int(outer[g]),
+                    int(total_inner[g]), elapsed, logs[g])
+            frozen[live[to_freeze]] = True
 
-            advancing = round_done & ~frozen
-            outer[advancing] += 1
-            inner_in_round[advancing] = 0
+            advancing = round_done & ~to_freeze
+            adv = live[advancing]
+            outer[adv] += 1
+            inner_in_round[adv] = 0
 
-        self.last_state = state
+        if state is not state_full:
+            scatter_state_scenarios(data_full, state_full, state, live)
+        self.last_state = state_full
         return solutions
 
     # ------------------------------------------------------------------ #
-    def _extract_solution(self, s: int, state: AdmmState, converged: bool,
-                          outer_iterations: int, inner_iterations: int,
-                          elapsed: float, log: list[AdmmIterationLog]) -> AdmmSolution:
-        """Snapshot one scenario's slice of the stacked state as a solution."""
-        data = self.data
+    def _extract_solution(self, data: ComponentData, state: AdmmState, s: int,
+                          converged: bool, outer_iterations: int,
+                          inner_iterations: int, elapsed: float,
+                          log: list[AdmmIterationLog]) -> AdmmSolution:
+        """Snapshot one scenario's slice of a (possibly compacted) state.
+
+        ``s`` indexes the scenario inside ``data``'s own layout, which may
+        be a compacted subset of :attr:`self.data`; the layout carries the
+        scenario's name and network either way.
+        """
         layout = data.scenario_layout
         network = layout.network(s)
         scenario_state = extract_scenario_state(data, state, s)

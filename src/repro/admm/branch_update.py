@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.admm.data import ComponentData
 from repro.admm.state import AdmmState
+from repro.parallel.compaction import Workspace
 from repro.parallel.kernels import segment_max
 from repro.powerflow.branch_derivatives import (
     quantity_value,
@@ -78,6 +79,11 @@ class BranchObjective:
     # bounds
     lb: np.ndarray
     ub: np.ndarray
+    # scratch arena: evaluation buffers (notably the (B, 6, 6) Hessian
+    # accumulators) are reused across iterations instead of reallocated.
+    # Callers that retain a gradient/Hessian across evaluations must copy
+    # it (the TRON driver does); row-subset views never share the arena.
+    workspace: Workspace | None = None
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, u: np.ndarray, order: int) -> tuple:
@@ -102,6 +108,18 @@ class BranchObjective:
         vi, vj, ti, tj = u[:, VI], u[:, VJ], u[:, TI], u[:, TJ]
         sij, sji = u[:, SIJ], u[:, SJI]
         batch = u.shape[0]
+        ws = self.workspace
+
+        def scratch(key: str, shape: tuple) -> np.ndarray:
+            """A zeroed accumulator, reused from the arena when one exists."""
+            return ws.zeros(key, shape) if ws is not None else np.zeros(shape)
+
+        def outer66(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            """Batched outer product ``a bᵀ`` into a reused (B, 6, 6) buffer."""
+            if ws is not None:
+                return np.einsum("bi,bj->bij", a, b,
+                                 out=ws.take("outer66", (batch, 6, 6)))
+            return np.einsum("bi,bj->bij", a, b)
 
         flows = {}
         for name, coeff in zip(("pij", "qij", "pji", "qji"), data.quantities.as_tuple()):
@@ -114,8 +132,8 @@ class BranchObjective:
                 flows[name] = (quantity_value(coeff, vi, vj, ti, tj), None, None)
 
         f = np.zeros(batch)
-        grad = np.zeros((batch, 6)) if order >= 1 else None
-        hess = np.zeros((batch, 6, 6)) if order >= 2 else None
+        grad = scratch("grad", (batch, 6)) if order >= 1 else None
+        hess = scratch("hess", (batch, 6, 6)) if order >= 2 else None
 
         def add_term(c_val, c_grad6, c_hess66, a, b):
             """Add φ(c) = a·c + (b/2)·c² for a batched constraint c."""
@@ -125,16 +143,16 @@ class BranchObjective:
             if grad is not None:
                 grad[:] += phi_prime[:, None] * c_grad6
             if hess is not None:
-                hess[:] += b[:, None, None] * np.einsum("bi,bj->bij", c_grad6, c_grad6)
+                hess[:] += b[:, None, None] * outer66(c_grad6, c_grad6)
                 if c_hess66 is not None:
                     hess[:] += phi_prime[:, None, None] * c_hess66
 
         def pad_flow(grad4, hess4):
-            g6 = np.zeros((batch, 6))
+            g6 = scratch("flow_g6", (batch, 6))
             g6[:, :4] = grad4
             h6 = None
             if hess is not None:
-                h6 = np.zeros((batch, 6, 6))
+                h6 = scratch("flow_h66", (batch, 6, 6))
                 h6[:, :4, :4] = hess4
             return g6, h6
 
@@ -200,16 +218,16 @@ class BranchObjective:
             phi_prime = lam + b * c_val
             f = f + lam * c_val + 0.5 * b * c_val * c_val
             if grad is not None:
-                c_grad6 = np.zeros((batch, 6))
+                c_grad6 = scratch("limit_g6", (batch, 6))
                 c_grad6[:, :4] = 2.0 * p_val[:, None] * p_grad4 + 2.0 * q_val[:, None] * q_grad4
                 c_grad6[:, s_index] = 1.0
                 grad[:] += phi_prime[:, None] * c_grad6
                 if hess is not None:
-                    c_hess66 = np.zeros((batch, 6, 6))
+                    c_hess66 = scratch("limit_h66", (batch, 6, 6))
                     c_hess66[:, :4, :4] = 2.0 * (
                         np.einsum("bi,bj->bij", p_grad4, p_grad4) + p_val[:, None, None] * p_hess4
                         + np.einsum("bi,bj->bij", q_grad4, q_grad4) + q_val[:, None, None] * q_hess4)
-                    hess[:] += b[:, None, None] * np.einsum("bi,bj->bij", c_grad6, c_grad6)
+                    hess[:] += b[:, None, None] * outer66(c_grad6, c_grad6)
                     hess[:] += phi_prime[:, None, None] * c_hess66
 
         if order == 0:
@@ -230,27 +248,36 @@ class BranchObjective:
 
     def select(self, index: int) -> "BranchObjective":
         """One-branch view for the loop TRON backend's single-row evaluation."""
-        sl = slice(index, index + 1)
-        rho = {group: (value if np.ndim(value) == 0 else value[sl])
+        return self.select_rows(np.array([index]))
+
+    def select_rows(self, indices: np.ndarray) -> "BranchObjective":
+        """Packed row-subset view (stream compaction in the TRON driver).
+
+        The view deliberately carries no workspace: subset shapes change
+        from call to call, and the packed evaluations must never overwrite
+        buffers the full-batch callbacks handed out.
+        """
+        indices = np.asarray(indices, dtype=int)
+        rho = {group: (value if np.ndim(value) == 0 else value[indices])
                for group, value in self.data.rho.items()
                if group not in ("gp", "gq")}
         view = _BranchDataView(
-            quantities=self.data.quantities.take(np.array([index])),
+            quantities=self.data.quantities.take(indices),
             rho=rho,
-            branch_has_limit=self.data.branch_has_limit[sl])
+            branch_has_limit=self.data.branch_has_limit[indices])
         return BranchObjective(
             data=view,
-            tgt_pij=self.tgt_pij[sl], tgt_qij=self.tgt_qij[sl],
-            tgt_pji=self.tgt_pji[sl], tgt_qji=self.tgt_qji[sl],
-            tgt_wi=self.tgt_wi[sl], tgt_ti=self.tgt_ti[sl],
-            tgt_wj=self.tgt_wj[sl], tgt_tj=self.tgt_tj[sl],
-            y_pij=self.y_pij[sl], y_qij=self.y_qij[sl],
-            y_pji=self.y_pji[sl], y_qji=self.y_qji[sl],
-            y_wi=self.y_wi[sl], y_ti=self.y_ti[sl],
-            y_wj=self.y_wj[sl], y_tj=self.y_tj[sl],
-            lam_sij=self.lam_sij[sl], lam_sji=self.lam_sji[sl],
-            rho_tilde=self.rho_tilde[sl],
-            lb=self.lb[sl], ub=self.ub[sl])
+            tgt_pij=self.tgt_pij[indices], tgt_qij=self.tgt_qij[indices],
+            tgt_pji=self.tgt_pji[indices], tgt_qji=self.tgt_qji[indices],
+            tgt_wi=self.tgt_wi[indices], tgt_ti=self.tgt_ti[indices],
+            tgt_wj=self.tgt_wj[indices], tgt_tj=self.tgt_tj[indices],
+            y_pij=self.y_pij[indices], y_qij=self.y_qij[indices],
+            y_pji=self.y_pji[indices], y_qji=self.y_qji[indices],
+            y_wi=self.y_wi[indices], y_ti=self.y_ti[indices],
+            y_wj=self.y_wj[indices], y_tj=self.y_tj[indices],
+            lam_sij=self.lam_sij[indices], lam_sji=self.lam_sji[indices],
+            rho_tilde=self.rho_tilde[indices],
+            lb=self.lb[indices], ub=self.ub[indices])
 
     def limit_residuals(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Line-limit constraint residuals (zero for unrated branches)."""
@@ -274,7 +301,8 @@ class _BranchDataView:
     branch_has_limit: np.ndarray
 
 
-def build_branch_objective(data: ComponentData, state: AdmmState) -> BranchObjective:
+def build_branch_objective(data: ComponentData, state: AdmmState,
+                           workspace: Workspace | None = None) -> BranchObjective:
     """Assemble the batched branch objective for the current ADMM iteration."""
     f = data.branch_from
     t = data.branch_to
@@ -307,11 +335,12 @@ def build_branch_objective(data: ComponentData, state: AdmmState) -> BranchObjec
         lam_sij=state.lam_sij * limited,
         lam_sji=state.lam_sji * limited,
         rho_tilde=state.rho_tilde * limited,
-        lb=lb, ub=ub)
+        lb=lb, ub=ub, workspace=workspace)
 
 
 def update_branches(data: ComponentData, state: AdmmState,
-                    tron_options: TronOptions | None = None) -> dict[str, float]:
+                    tron_options: TronOptions | None = None,
+                    workspace: Workspace | None = None) -> dict[str, float]:
     """Solve all branch subproblems and update the branch state in place.
 
     Returns a small info dictionary (TRON iterations, line-limit violation)
@@ -319,7 +348,7 @@ def update_branches(data: ComponentData, state: AdmmState,
     """
     params = data.params
     tron_options = tron_options or params.tron
-    objective = build_branch_objective(data, state)
+    objective = build_branch_objective(data, state, workspace=workspace)
 
     u = np.column_stack([state.vi, state.vj, state.ti, state.tj, state.sij, state.sji])
     limited = data.branch_has_limit

@@ -168,6 +168,63 @@ class ComponentData:
             return per_scenario
         return np.asarray(per_scenario)[self.group_scenarios(group)]
 
+    def select_scenarios(self, keep) -> "ComponentData":
+        """Compacted data over the scenario subset ``keep`` (stream compaction).
+
+        Every surviving scenario's block is copied verbatim, so the packed
+        arrays are the scenario-major stack :meth:`from_scenarios` would have
+        built for just those scenarios — the update kernels therefore produce
+        bitwise-identical per-scenario results on the packed data.  Bus
+        indices are re-based onto the packed bus axis.
+        """
+        keep = np.asarray(keep, dtype=int)
+        layout = self.scenario_layout
+        sub_layout = layout.select(keep)
+        gen_idx = layout.element_indices("gen", keep)
+        branch_idx = layout.element_indices("branch", keep)
+        bus_idx = layout.element_indices("bus", keep)
+
+        # Per-element shift moving each kept scenario's bus indices from its
+        # resident block to its packed block.
+        shift = sub_layout.bus_offsets[:-1] - layout.bus_offsets[keep]
+        gen_shift = shift[sub_layout.gen_segments]
+        branch_shift = shift[sub_layout.branch_segments]
+
+        def take_group(group: str, value):
+            if np.ndim(value) == 0:
+                return value
+            return value[gen_idx if GROUP_AXIS[group] == "gen" else branch_idx]
+
+        return ComponentData(
+            network=self.network,
+            params=self.params,
+            gen_index=self.gen_index[gen_idx],
+            gen_bus=self.gen_bus[gen_idx] + gen_shift,
+            gen_pmin=self.gen_pmin[gen_idx],
+            gen_pmax=self.gen_pmax[gen_idx],
+            gen_qmin=self.gen_qmin[gen_idx],
+            gen_qmax=self.gen_qmax[gen_idx],
+            gen_c2=self.gen_c2[gen_idx],
+            gen_c1=self.gen_c1[gen_idx],
+            gen_c0=self.gen_c0[gen_idx],
+            branch_from=self.branch_from[branch_idx] + branch_shift,
+            branch_to=self.branch_to[branch_idx] + branch_shift,
+            quantities=self.quantities.take(branch_idx),
+            branch_vi_min=self.branch_vi_min[branch_idx],
+            branch_vi_max=self.branch_vi_max[branch_idx],
+            branch_vj_min=self.branch_vj_min[branch_idx],
+            branch_vj_max=self.branch_vj_max[branch_idx],
+            branch_has_limit=self.branch_has_limit[branch_idx],
+            branch_rate_sq=self.branch_rate_sq[branch_idx],
+            bus_pd=self.bus_pd[bus_idx],
+            bus_qd=self.bus_qd[bus_idx],
+            bus_gs=self.bus_gs[bus_idx],
+            bus_bs=self.bus_bs[bus_idx],
+            bus_vm_mid=self.bus_vm_mid[bus_idx],
+            rho={group: take_group(group, value) for group, value in self.rho.items()},
+            layout=sub_layout,
+        )
+
     @classmethod
     def from_network(cls, network: Network, params: AdmmParameters) -> "ComponentData":
         """Build the solver-facing layout for a case."""

@@ -62,6 +62,15 @@ class AdmmParameters:
         Options of the batched TRON solver used for branch subproblems.
     tron_backend:
         ``"batched"`` (default) or ``"loop"``.
+    compaction_threshold:
+        Scenario stream-compaction trigger of the batched solver: when the
+        fraction of still-running scenarios among those resident in the
+        kernel stream drops to this value or below, the frozen scenarios
+        are compacted away and the kernels sweep only the survivors'
+        stacked blocks.  ``1.0`` (the default) compacts as soon as any
+        resident scenario freezes; ``0`` disables scenario compaction (the
+        kernels then sweep the full arrays like idle GPU thread blocks, as
+        does setting ``REPRO_COMPACTION=0`` in the environment).
     objective_scale:
         Multiplier applied to the generation cost inside the ADMM (the paper
         scales the 70k case by 2 to counteract large penalties).
@@ -91,6 +100,7 @@ class AdmmParameters:
     auglag_tol: float = 1e-4
     tron: TronOptions = field(default_factory=lambda: TronOptions(max_iter=40, gtol=1e-7))
     tron_backend: str = "batched"
+    compaction_threshold: float = 1.0
     objective_scale: float = 1.0
     verbose: bool = False
 
@@ -108,6 +118,8 @@ class AdmmParameters:
             raise ConfigurationError("outer_tol must be positive")
         if self.tron_backend not in ("batched", "loop"):
             raise ConfigurationError("tron_backend must be 'batched' or 'loop'")
+        if not (0 <= self.compaction_threshold <= 1):
+            raise ConfigurationError("compaction_threshold must lie in [0, 1]")
         self.tron.validate()
 
     def inner_tolerance(self, outer_iteration: int) -> float:

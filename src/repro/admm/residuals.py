@@ -60,8 +60,16 @@ def _scenario_rho(data: ComponentData, group: str, scenario: int) -> float:
 
 
 def compute_residuals(data: ComponentData, state: AdmmState,
-                      primal: dict[str, np.ndarray]) -> ResidualInfo:
+                      primal: dict[str, np.ndarray],
+                      active: np.ndarray | None = None) -> ResidualInfo:
     """Summarise the inner-iteration residuals per scenario.
+
+    ``active`` optionally masks which scenarios need their reductions at
+    all: a frozen scenario's residuals never feed a convergence decision or
+    a log line again, so its per-scenario loop body is skipped (the norms
+    report zero).  The batched solver passes its not-yet-frozen mask here
+    when frozen scenarios are still resident (i.e. before stream compaction
+    removes them from the stacked arrays).
 
     ``primal`` is the per-group ``r + z`` returned by the multiplier update.
     The dual residual follows the standard ADMM estimate: the change in the
@@ -92,6 +100,8 @@ def compute_residuals(data: ComponentData, state: AdmmState,
     # Python loop costs O(S) small dot products per iteration — negligible
     # next to the branch TRON solve for realistic batch sizes.
     for s in range(n_scenarios):
+        if active is not None and not active[s]:
+            continue
         n = 0
         primal_sq = 0.0
         primal_max = 0.0

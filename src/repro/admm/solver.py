@@ -37,6 +37,7 @@ from repro.admm.state import AdmmState, cold_start_state
 from repro.analysis.metrics import SolutionMetrics, constraint_violation
 from repro.grid.network import Network
 from repro.logging_utils import get_logger
+from repro.parallel.compaction import Workspace
 from repro.parallel.device import SimulatedDevice
 
 LOGGER = get_logger("admm")
@@ -88,6 +89,7 @@ class AdmmSolver:
         self.params.validate()
         self.data = ComponentData.from_network(network, self.params)
         self.device = device or SimulatedDevice()
+        self.workspace = Workspace()
         self.last_state: AdmmState | None = None
 
     # ------------------------------------------------------------------ #
@@ -121,7 +123,7 @@ class AdmmSolver:
                 device.launch("generator_update", update_generators, data, state,
                               elements=data.n_gen)
                 device.launch("branch_update", update_branches, data, state, params.tron,
-                              elements=data.n_branch)
+                              elements=data.n_branch, workspace=self.workspace)
                 device.launch("bus_update", update_buses, data, state,
                               elements=data.n_bus)
                 device.launch("z_update", update_artificial_variables, data, state,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.admm.data import COUPLING_GROUPS, ComponentData
+from repro.admm.data import COUPLING_GROUPS, GROUP_AXIS, VALUE_AXIS, ComponentData
 from repro.powerflow.branch_derivatives import all_flow_values
 
 
@@ -128,6 +128,98 @@ class AdmmState:
         """Recompute the branch flows implied by the branch variables."""
         self.pij, self.qij, self.pji, self.qji = all_flow_values(
             data.quantities, self.vi, self.vj, self.ti, self.tj)
+
+
+def _axis_indices(data: ComponentData, keep: np.ndarray) -> dict[str, np.ndarray]:
+    """Gather maps (per component axis) of the kept scenarios' blocks."""
+    layout = data.scenario_layout
+    return {axis: layout.element_indices(axis, keep)
+            for axis in ("gen", "branch", "bus")}
+
+
+def select_state_scenarios(data: ComponentData, state: AdmmState,
+                           keep) -> AdmmState:
+    """Pack the surviving scenarios' blocks of a stacked state.
+
+    ``data`` is the *resident* layout the state is currently shaped for;
+    the returned state is shaped for ``data.select_scenarios(keep)``.  Every
+    block is copied verbatim (stream-compaction gather), so the packed
+    state continues each surviving scenario's trajectory bit for bit.
+    """
+    keep = np.asarray(keep, dtype=int)
+    idx = _axis_indices(data, keep)
+    gens, branches, buses = idx["gen"], idx["branch"], idx["bus"]
+
+    def per_group(values: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        return {group: values[group][idx[GROUP_AXIS[group]]]
+                for group in COUPLING_GROUPS}
+
+    beta = state.beta
+    if isinstance(beta, np.ndarray) and beta.ndim > 0:
+        beta = beta[keep]
+    previous = {
+        group: values[idx[VALUE_AXIS[group]]]
+        for group, values in state.previous_bus_values.items()
+        if group in VALUE_AXIS
+        and values.shape[0] == getattr(data, f"n_{VALUE_AXIS[group]}")}
+    return AdmmState(
+        pg=state.pg[gens], qg=state.qg[gens],
+        vi=state.vi[branches], vj=state.vj[branches],
+        ti=state.ti[branches], tj=state.tj[branches],
+        sij=state.sij[branches], sji=state.sji[branches],
+        pij=state.pij[branches], qij=state.qij[branches],
+        pji=state.pji[branches], qji=state.qji[branches],
+        w=state.w[buses], theta=state.theta[buses],
+        pg_copy=state.pg_copy[gens], qg_copy=state.qg_copy[gens],
+        pij_copy=state.pij_copy[branches], qij_copy=state.qij_copy[branches],
+        pji_copy=state.pji_copy[branches], qji_copy=state.qji_copy[branches],
+        y=per_group(state.y), z=per_group(state.z), lz=per_group(state.lz),
+        lam_sij=state.lam_sij[branches], lam_sji=state.lam_sji[branches],
+        rho_tilde=state.rho_tilde[branches],
+        beta=beta, outer_iteration=state.outer_iteration,
+        total_inner_iterations=state.total_inner_iterations,
+        previous_bus_values=previous,
+    )
+
+
+def scatter_state_scenarios(data: ComponentData, state: AdmmState,
+                            sub_state: AdmmState, keep) -> None:
+    """Write a packed state's blocks back into the resident stacked state.
+
+    The inverse of :func:`select_state_scenarios`: scenario ``keep[k]`` of
+    ``state`` receives block ``k`` of ``sub_state`` (in place).  Scenarios
+    outside ``keep`` are untouched — exactly the frozen-at-snapshot
+    semantics of stream compaction.
+    """
+    keep = np.asarray(keep, dtype=int)
+    idx = _axis_indices(data, keep)
+    gens, branches, buses = idx["gen"], idx["branch"], idx["bus"]
+
+    for attr, rows in (("pg", gens), ("qg", gens),
+                       ("pg_copy", gens), ("qg_copy", gens),
+                       ("vi", branches), ("vj", branches),
+                       ("ti", branches), ("tj", branches),
+                       ("sij", branches), ("sji", branches),
+                       ("pij", branches), ("qij", branches),
+                       ("pji", branches), ("qji", branches),
+                       ("pij_copy", branches), ("qij_copy", branches),
+                       ("pji_copy", branches), ("qji_copy", branches),
+                       ("lam_sij", branches), ("lam_sji", branches),
+                       ("rho_tilde", branches),
+                       ("w", buses), ("theta", buses)):
+        getattr(state, attr)[rows] = getattr(sub_state, attr)
+    for group in COUPLING_GROUPS:
+        rows = idx[GROUP_AXIS[group]]
+        state.y[group][rows] = sub_state.y[group]
+        state.z[group][rows] = sub_state.z[group]
+        state.lz[group][rows] = sub_state.lz[group]
+    for group, values in sub_state.previous_bus_values.items():
+        target = state.previous_bus_values.get(group)
+        rows = idx[VALUE_AXIS[group]]
+        if target is not None and values.shape[0] == rows.shape[0]:
+            target[rows] = values
+    if isinstance(state.beta, np.ndarray) and np.ndim(state.beta) > 0:
+        state.beta[keep] = sub_state.beta
 
 
 def cold_start_state(data: ComponentData) -> AdmmState:

@@ -10,12 +10,16 @@ wall-clock time so benchmarks can report the breakdown the paper discusses
 (closed-form component updates vs. batched branch solves).
 """
 
+from repro.parallel.compaction import ActiveSet, Workspace, compaction_enabled
 from repro.parallel.device import KernelRecord, SimulatedDevice
 from repro.parallel.kernels import elementwise_kernel, launch_over_elements
 
 __all__ = [
+    "ActiveSet",
     "KernelRecord",
     "SimulatedDevice",
+    "Workspace",
+    "compaction_enabled",
     "elementwise_kernel",
     "launch_over_elements",
 ]

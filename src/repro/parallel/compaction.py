@@ -1,0 +1,166 @@
+"""Stream-compaction primitives: gather active work, solve densely, scatter back.
+
+The paper's execution model launches one thread (block) per component
+subproblem, so a batch in which most problems have converged still sweeps
+the full arrays — idle threads on a GPU, wasted vector width here.  Stream
+compaction is the standard remedy: *gather* the rows that still need work
+into a dense sub-batch, run the unmodified kernels on the sub-batch, and
+*scatter* the results back into the resident arrays.  Because every kernel
+in this codebase is row-separable (no cross-row reductions inside a batch),
+the compacted sweep produces bitwise-identical per-row results.
+
+Two pieces live here:
+
+* :class:`ActiveSet` — the gather/scatter index map between a full resident
+  batch and its packed active subset (rows of ``(B,)``/``(B, n)``/
+  ``(B, n, n)`` arrays alike);
+* :class:`Workspace` — a keyed scratch-array arena so inner loops reuse
+  their large temporaries (e.g. ``(B, n, n)`` Hessian accumulators) instead
+  of allocating fresh ones every iteration.
+
+The environment variable ``REPRO_COMPACTION`` is a global escape hatch for
+A/B runs: set it to ``0`` (or ``false`` / ``off`` / ``no``) to force every
+solver onto the uncompacted full-sweep path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+
+def compaction_enabled(default: bool = True) -> bool:
+    """Whether stream compaction is globally enabled (``REPRO_COMPACTION``)."""
+    value = os.environ.get("REPRO_COMPACTION")
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "off", "no")
+
+
+class ActiveSet:
+    """Index map between a resident batch and its packed active subset.
+
+    ``indices`` are the resident-row ids of the active subset, in resident
+    order; ``full_size`` is the resident batch size.  All gathers/scatters
+    operate on the leading (batch) axis, so the same map serves ``(B,)``
+    vectors, ``(B, n)`` matrices, and ``(B, n, n)`` Hessian stacks.
+    """
+
+    __slots__ = ("indices", "full_size")
+
+    def __init__(self, indices: np.ndarray, full_size: int) -> None:
+        self.indices = np.asarray(indices, dtype=int)
+        if self.indices.ndim != 1:
+            raise DimensionError("ActiveSet indices must be one-dimensional")
+        self.full_size = int(full_size)
+        if self.indices.size and (self.indices.min() < 0
+                                  or self.indices.max() >= self.full_size):
+            raise DimensionError("ActiveSet indices out of range")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "ActiveSet":
+        """Active set of the true rows of a resident-size boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        return cls(np.flatnonzero(mask), mask.shape[0])
+
+    @classmethod
+    def identity(cls, n: int) -> "ActiveSet":
+        """The trivial map (every resident row active)."""
+        return cls(np.arange(n), n)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def fraction(self) -> float:
+        """Active fraction of the resident batch (1.0 for an empty batch)."""
+        return self.size / self.full_size if self.full_size else 1.0
+
+    def refine(self, mask: np.ndarray) -> "ActiveSet":
+        """Compose with a boolean mask over the *packed* axis.
+
+        Used for recompaction: rows of the current working set that are
+        still active become the next, smaller working set (indices stay
+        resident-relative).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.size:
+            raise DimensionError("refine mask must match the packed size")
+        return ActiveSet(self.indices[mask], self.full_size)
+
+    # ------------------------------------------------------------------ #
+    def gather(self, array: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Pack the active rows of a resident array into a dense sub-batch."""
+        if out is not None:
+            return np.take(array, self.indices, axis=0, out=out)
+        return array[self.indices]
+
+    def scatter(self, target: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Write packed rows back into the resident array (in place)."""
+        target[self.indices] = values
+        return target
+
+    def scatter_where(self, target: np.ndarray, values: np.ndarray,
+                      mask: np.ndarray) -> np.ndarray:
+        """Scatter-merge: write back only the packed rows selected by ``mask``."""
+        mask = np.asarray(mask, dtype=bool)
+        target[self.indices[mask]] = values[mask]
+        return target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActiveSet({self.size}/{self.full_size} active)"
+
+
+class Workspace:
+    """Keyed scratch-array arena for allocation-free inner loops.
+
+    ``take(key, shape)`` returns a reusable uninitialised array;
+    ``zeros(key, shape)`` returns the same array cleared.  A buffer is
+    reallocated only when the requested shape or dtype changes (e.g. after
+    a recompaction shrinks the batch), so steady-state iterations perform
+    no heap allocation for their large temporaries.
+
+    Callers own the aliasing discipline: a buffer's contents are valid only
+    until the next request for the same key, so workspace-backed arrays
+    must never be returned to callers that retain them across iterations.
+    """
+
+    __slots__ = ("_arrays", "allocations", "reuses")
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self.allocations = 0
+        self.reuses = 0
+
+    def take(self, key: str, shape: tuple[int, ...], dtype=float) -> np.ndarray:
+        """A reusable scratch array (contents undefined)."""
+        shape = tuple(int(s) for s in shape)
+        array = self._arrays.get(key)
+        if array is None or array.shape != shape or array.dtype != np.dtype(dtype):
+            array = np.empty(shape, dtype=dtype)
+            self._arrays[key] = array
+            self.allocations += 1
+        else:
+            self.reuses += 1
+        return array
+
+    def zeros(self, key: str, shape: tuple[int, ...], dtype=float) -> np.ndarray:
+        """A reusable scratch array cleared to zero."""
+        array = self.take(key, shape, dtype=dtype)
+        array.fill(0)
+        return array
+
+    def clear(self) -> None:
+        """Drop every cached buffer (e.g. between unrelated solves)."""
+        self._arrays.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(array.nbytes for array in self._arrays.values())

@@ -30,6 +30,7 @@ class KernelRecord:
     launches: int = 0
     total_seconds: float = 0.0
     total_elements: int = 0
+    total_active_elements: int = 0
 
     @property
     def mean_seconds(self) -> float:
@@ -42,12 +43,27 @@ class KernelRecord:
             return 0.0
         return self.total_elements / self.total_seconds
 
+    @property
+    def occupancy(self) -> float:
+        """Active fraction of the swept elements (1.0 when never declared).
+
+        Launches declare how many of the elements they sweep still need
+        work (``active_elements``); the ratio is the occupancy the paper's
+        GPU would achieve on the same launch sequence.  Stream compaction
+        drives this back towards 1.0 by not sweeping retired elements.
+        """
+        if self.total_elements == 0:
+            return 1.0
+        return self.total_active_elements / self.total_elements
+
     def as_dict(self) -> dict[str, float | int]:
         return {
             "launches": self.launches,
             "total_seconds": self.total_seconds,
             "mean_seconds": self.mean_seconds,
             "total_elements": self.total_elements,
+            "total_active_elements": self.total_active_elements,
+            "occupancy": self.occupancy,
             "elements_per_second": self.elements_per_second,
         }
 
@@ -66,11 +82,16 @@ class SimulatedDevice:
     kernels: dict[str, KernelRecord] = field(default_factory=lambda: defaultdict(KernelRecord))
 
     def launch(self, kernel_name: str, fn: Callable[..., Any], *args: Any,
-               elements: int | None = None, **kwargs: Any) -> Any:
+               elements: int | None = None, active_elements: int | None = None,
+               **kwargs: Any) -> Any:
         """Run ``fn(*args, **kwargs)`` as the kernel ``kernel_name``.
 
         ``elements`` declares how many elements the launch sweeps (its batch
         size); when given, the kernel's element throughput is tracked.
+        ``active_elements`` additionally declares how many of them still
+        need work (defaults to all of them), feeding the occupancy metric —
+        a full-array sweep over mostly-retired elements reports low
+        occupancy, a stream-compacted sweep reports ~1.0.
         """
         start = time.perf_counter()
         try:
@@ -82,6 +103,8 @@ class SimulatedDevice:
             record.total_seconds += elapsed
             if elements is not None:
                 record.total_elements += int(elements)
+                active = elements if active_elements is None else active_elements
+                record.total_active_elements += min(int(active), int(elements))
 
     def reset(self) -> None:
         """Clear all accumulated kernel statistics."""
@@ -107,6 +130,7 @@ class SimulatedDevice:
             line = (f"  {name:<28} launches={rec.launches:<7d} "
                     f"total={rec.total_seconds:8.3f} s  mean={rec.mean_seconds * 1e3:8.3f} ms")
             if rec.total_elements:
-                line += f"  throughput={rec.elements_per_second:12.0f} elem/s"
+                line += (f"  throughput={rec.elements_per_second:12.0f} elem/s"
+                         f"  occ={rec.occupancy:5.1%}")
             lines.append(line)
         return "\n".join(lines)

@@ -86,6 +86,47 @@ class ScenarioLayout:
         return self.networks[scenario]
 
     # ------------------------------------------------------------------ #
+    # Stream compaction                                                    #
+    # ------------------------------------------------------------------ #
+    def element_indices(self, axis: str, keep: Sequence[int]) -> np.ndarray:
+        """Stacked element indices of the kept scenarios' blocks, in order.
+
+        This is the gather map of a scenario compaction: indexing a stacked
+        component array with it packs the surviving scenarios' contiguous
+        blocks next to each other (scenario-major order is preserved).
+        """
+        offsets = self.offsets(axis)
+        blocks = [np.arange(int(offsets[s]), int(offsets[s + 1])) for s in keep]
+        if not blocks:
+            return np.zeros(0, dtype=int)
+        return np.concatenate(blocks)
+
+    def select(self, keep: Sequence[int]) -> "ScenarioLayout":
+        """Layout of the scenario subset ``keep``, re-based to offset zero.
+
+        Used when converged scenarios are compacted away: the surviving
+        segments keep their internal structure (so every per-scenario block
+        of the packed arrays is bitwise identical to its resident block) but
+        the offsets collapse onto the packed axes.
+        """
+        keep = list(keep)
+
+        def sub_offsets(offsets: np.ndarray) -> np.ndarray:
+            counts = np.diff(np.asarray(offsets, dtype=int))[keep]
+            return np.concatenate([[0], np.cumsum(counts)])
+
+        return ScenarioLayout(
+            names=tuple(self.names[s] for s in keep),
+            gen_offsets=sub_offsets(self.gen_offsets),
+            branch_offsets=sub_offsets(self.branch_offsets),
+            bus_offsets=sub_offsets(self.bus_offsets),
+            rho_pq=self.rho_pq[keep],
+            rho_va=self.rho_va[keep],
+            networks=(tuple(self.networks[s] for s in keep)
+                      if self.networks else ()),
+        )
+
+    # ------------------------------------------------------------------ #
     @classmethod
     def single(cls, name: str, n_gen: int, n_branch: int, n_bus: int,
                rho_pq: float, rho_va: float, network=None) -> "ScenarioLayout":

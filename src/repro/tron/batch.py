@@ -31,6 +31,14 @@ class BatchProblem(Protocol):
     returning a one-problem view; the ``"loop"`` backend then evaluates each
     problem on a single-row slice instead of tiling the query point across
     the whole batch (which costs O(B) redundant work per callback).
+
+    Problems may also implement ``select_rows(indices) -> BatchProblem``
+    returning a packed view of an arbitrary row subset.  The batched backend
+    then stream-compacts: once most problems have converged, the TRON driver
+    gathers the active rows, evaluates the callbacks on the packed
+    sub-batch, and scatters results back — bitwise identical to the full
+    sweep because the callbacks must be row-separable (each problem's
+    values independent of which other rows share the batch).
     """
 
     lb: np.ndarray
@@ -67,13 +75,21 @@ class QuadraticBatchProblem:
         return np.einsum("bij,bj->bi", self.q, x) - self.c
 
     def hessian(self, x: np.ndarray) -> np.ndarray:
-        return np.broadcast_to(self.q, x.shape + (x.shape[-1],)).copy()
+        # Read-only broadcast view: the solver never mutates Hessians, so
+        # there is no reason to materialise a fresh (B, n, n) copy per call.
+        return np.broadcast_to(self.q, x.shape + (x.shape[-1],))
 
     def select(self, index: int) -> "QuadraticBatchProblem":
         """One-problem view (single-row evaluation in the loop backend)."""
         sl = slice(index, index + 1)
         return QuadraticBatchProblem(q=self.q[sl], c=self.c[sl],
                                      lb=self.lb[sl], ub=self.ub[sl])
+
+    def select_rows(self, indices: np.ndarray) -> "QuadraticBatchProblem":
+        """Packed row-subset view (stream compaction in the batched backend)."""
+        indices = np.asarray(indices, dtype=int)
+        return QuadraticBatchProblem(q=self.q[indices], c=self.c[indices],
+                                     lb=self.lb[indices], ub=self.ub[indices])
 
 
 def solve_batch(problem: BatchProblem, x0: np.ndarray,
@@ -84,8 +100,15 @@ def solve_batch(problem: BatchProblem, x0: np.ndarray,
         raise ConfigurationError(f"unknown TRON backend {backend!r}; choose from {BACKENDS}")
     x0 = np.atleast_2d(np.asarray(x0, dtype=float))
     if backend == "batched":
+        row_view = getattr(problem, "select_rows", None)
+        select_rows = None
+        if row_view is not None:
+            def select_rows(indices: np.ndarray):
+                sub = row_view(indices)
+                return sub.objective, sub.gradient, sub.hessian
         return tron_solve_batch(problem.objective, problem.gradient, problem.hessian,
-                                x0, problem.lb, problem.ub, options)
+                                x0, problem.lb, problem.ub, options,
+                                select_rows=select_rows)
 
     # Loop backend: run the same algorithm one problem at a time.
     batch = x0.shape[0]

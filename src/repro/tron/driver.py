@@ -15,6 +15,16 @@ The algorithm per problem and iteration is the TRON scheme of Lin & Moré:
 4. apply a projected (feasibility-preserving) step back into the box;
 5. accept/reject by comparing actual to predicted reduction, and update the
    trust-region radius.
+
+**Stream compaction.**  Problems converge at very different iteration
+counts, so late iterations of a plain batched sweep spend most of their
+width on rows that stopped moving long ago.  When the caller supplies
+``select_rows`` (row-sliced callbacks, see :func:`tron_solve_batch`), the
+driver gathers the still-active rows into a dense *working set* once their
+fraction drops below :attr:`~repro.tron.options.TronOptions.compaction_threshold`,
+sweeps only the packed rows, and scatters the results back — every kernel in
+the loop is row-separable, so the packed trajectory is bitwise identical to
+the full-batch one.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import DimensionError
+from repro.parallel.compaction import ActiveSet, compaction_enabled
 from repro.tron.cauchy import cauchy_point, _quadratic_model
 from repro.tron.cg import steihaug_cg
 from repro.tron.options import TronOptions
@@ -40,6 +51,10 @@ from repro.tron.projection import (
 ObjectiveFn = Callable[[np.ndarray], np.ndarray]
 GradientFn = Callable[[np.ndarray], np.ndarray]
 HessianFn = Callable[[np.ndarray], np.ndarray]
+
+#: Row-slicing hook: maps absolute row indices to (objective, gradient,
+#: hessian) callbacks over the packed sub-batch of exactly those rows.
+SelectRowsFn = Callable[[np.ndarray], tuple[ObjectiveFn, GradientFn, HessianFn]]
 
 
 @dataclass
@@ -60,21 +75,29 @@ class TronResult:
 
 def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: HessianFn,
                      x0: np.ndarray, lb: np.ndarray, ub: np.ndarray,
-                     options: TronOptions | None = None) -> TronResult:
+                     options: TronOptions | None = None,
+                     select_rows: SelectRowsFn | None = None) -> TronResult:
     """Solve a batch of bound-constrained problems with TRON.
 
     Parameters
     ----------
     objective, gradient, hessian:
-        Batched callbacks (see module docstring).  They are always called on
-        the full batch; converged problems simply stop moving, which mirrors
-        the lock-step execution of a GPU kernel.
+        Batched callbacks (see module docstring).  Without ``select_rows``
+        they are always called on the full batch; converged problems simply
+        stop moving, which mirrors the lock-step execution of a GPU kernel.
     x0:
         Starting points ``(B, n)`` (projected onto the box before use).
     lb, ub:
         Bounds ``(B, n)``; equal entries pin a variable.
     options:
         :class:`TronOptions`; defaults are used when omitted.
+    select_rows:
+        Optional row-slicing hook enabling stream compaction: called with an
+        array of absolute row indices, it must return ``(objective,
+        gradient, hessian)`` callbacks that evaluate exactly those problems
+        as a packed sub-batch.  Callbacks obtained this way must be
+        row-separable (problem ``i``'s values independent of the other rows
+        in the batch) so that packed sweeps reproduce full sweeps bitwise.
     """
     options = options or TronOptions()
     options.validate()
@@ -88,8 +111,10 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
     max_cg = options.max_cg_iter or (n + 1)
 
     x = project(x0, lb, ub)
-    f = np.asarray(objective(x), dtype=float)
-    g = np.asarray(gradient(x), dtype=float)
+    # Copies, not views: callbacks may return workspace-backed buffers, and
+    # the compaction engine scatters into these arrays in place.
+    f = np.array(objective(x), dtype=float)
+    g = np.array(gradient(x), dtype=float)
     n_feval = 1
 
     gnorm0 = np.linalg.norm(g, axis=-1)
@@ -98,35 +123,79 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
     delta = np.minimum(delta, options.delta_max)
 
     iterations = np.zeros(batch, dtype=int)
-    converged = projected_gradient_norm(x, g, lb, ub) <= options.gtol
+    pgnorm = projected_gradient_norm(x, g, lb, ub)
+    converged = pgnorm <= options.gtol
+
+    # Row-sliced evaluation pays off only when slicing is available and the
+    # batch is wide enough for the saved sweep to beat the gather overhead.
+    # ``compaction_threshold = 0`` (like ``REPRO_COMPACTION=0``) disables the
+    # whole path — including accepted-row gradient slicing — so a disabled
+    # run really is the plain full-batch sweep.
+    compact_ok = (select_rows is not None and options.compaction_threshold > 0.0
+                  and batch >= options.compaction_min_batch and compaction_enabled())
+
+    # Stream-compaction window.  While ``window`` is engaged the loop names
+    # (x, f, g, ...) hold the packed working set and ``resident`` holds the
+    # full-batch arrays; ``window is None`` means they are one and the same.
+    window: ActiveSet | None = None
+    resident: tuple[np.ndarray, ...] | None = None
+    lb_w, ub_w = lb, ub
+    obj_fn, grad_fn, hess_fn = objective, gradient, hessian
+
+    def flush() -> None:
+        """Scatter the packed working arrays back into the resident ones."""
+        for target, values in zip(resident,
+                                  (x, f, g, delta, iterations, converged, pgnorm)):
+            window.scatter(target, values)
 
     for _ in range(options.max_iter):
         active = ~converged
-        if not active.any():
+        n_active = int(active.sum())
+        if n_active == 0:
             break
-        hess = np.asarray(hessian(x), dtype=float)
+
+        if (compact_ok and n_active < active.shape[0]
+                and n_active <= options.compaction_threshold * active.shape[0]):
+            # Compact: gather the active rows into a dense sub-batch.  Rows
+            # left behind are converged and final; rows in the new window
+            # continue exactly the trajectory they were on.
+            if window is None:
+                resident = (x, f, g, delta, iterations, converged, pgnorm)
+                window = ActiveSet.from_mask(active)
+            else:
+                flush()
+                window = window.refine(active)
+            r_x, r_f, r_g, r_delta, r_iter, r_conv, r_pg = resident
+            x, f, g = window.gather(r_x), window.gather(r_f), window.gather(r_g)
+            delta, iterations = window.gather(r_delta), window.gather(r_iter)
+            converged, pgnorm = window.gather(r_conv), window.gather(r_pg)
+            lb_w, ub_w = lb[window.indices], ub[window.indices]
+            obj_fn, grad_fn, hess_fn = select_rows(window.indices)
+            active = np.ones(window.size, dtype=bool)
+
+        hess = np.asarray(hess_fn(x), dtype=float)
 
         # --- Cauchy point -------------------------------------------------
-        s_cauchy, _ = cauchy_point(x, g, hess, delta, lb, ub,
+        s_cauchy, _ = cauchy_point(x, g, hess, delta, lb_w, ub_w,
                                    mu0=options.mu0, max_steps=options.cauchy_max_steps)
-        x_cauchy = project(x + s_cauchy, lb, ub)
+        x_cauchy = project(x + s_cauchy, lb_w, ub_w)
         s_cauchy = x_cauchy - x
 
         # --- CG refinement on the free subspace ---------------------------
         model_grad = g + np.einsum("...ij,...j->...i", hess, s_cauchy)
-        free = free_variable_mask(x_cauchy, model_grad, lb, ub)
+        free = free_variable_mask(x_cauchy, model_grad, lb_w, ub_w)
         radius_left = np.maximum(delta - np.linalg.norm(s_cauchy, axis=-1), 0.0)
         cg = steihaug_cg(hess, -model_grad, radius_left, free,
                          tol=options.cg_tol, max_iter=max_cg)
 
         # --- projected step back into the box ------------------------------
-        step_len = max_feasible_step(x_cauchy, cg.step, lb, ub, cap=1.0)
+        step_len = max_feasible_step(x_cauchy, cg.step, lb_w, ub_w, cap=1.0)
         s = s_cauchy + step_len[..., None] * cg.step
-        x_trial = project(x + s, lb, ub)
+        x_trial = project(x + s, lb_w, ub_w)
         s = x_trial - x
 
         predicted = -_quadratic_model(g, hess, s)
-        f_trial = np.asarray(objective(x_trial), dtype=float)
+        f_trial = np.asarray(obj_fn(x_trial), dtype=float)
         n_feval += 1
         actual = f - f_trial
         safe_pred = np.where(np.abs(predicted) > 1e-300, predicted, 1e-300)
@@ -147,16 +216,28 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
         if accept.any():
             x = np.where(accept[..., None], x_trial, x)
             f = np.where(accept, f_trial, f)
-            g_new = np.asarray(gradient(x), dtype=float)
-            g = np.where(accept[..., None], g_new, g)
+            accepted_rows = np.flatnonzero(accept)
+            if compact_ok and accepted_rows.size < x.shape[0]:
+                # Only the accepted rows moved, so only they need a fresh
+                # gradient; rejected/converged rows keep theirs bit for bit.
+                absolute = (window.indices[accepted_rows] if window is not None
+                            else accepted_rows)
+                _, grad_rows, _ = select_rows(absolute)
+                g[accepted_rows] = np.asarray(grad_rows(x[accepted_rows]), dtype=float)
+            else:
+                g_new = np.asarray(grad_fn(x), dtype=float)
+                g = np.where(accept[..., None], g_new, g)
 
         iterations = iterations + active.astype(int)
-        pgnorm = projected_gradient_norm(x, g, lb, ub)
+        pgnorm = projected_gradient_norm(x, g, lb_w, ub_w)
         small_model = active & (predicted > 0) & (predicted <= options.frtol * (1.0 + np.abs(f)))
         tiny_radius = active & (delta <= 1e-11)
         converged = converged | (pgnorm <= options.gtol) | small_model | tiny_radius
 
-    pgnorm = projected_gradient_norm(x, g, lb, ub)
+    if window is not None:
+        flush()
+        x, f, g, delta, iterations, converged, pgnorm = resident
+
     return TronResult(x=x, f=f, projected_gradient_norm=pgnorm,
                       iterations=iterations, converged=converged | (pgnorm <= options.gtol),
                       function_evaluations=n_feval)

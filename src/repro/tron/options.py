@@ -40,6 +40,15 @@ class TronOptions:
         Initial trust-region radius; ``None`` uses the gradient norm.
     delta_max:
         Upper bound on the trust-region radius.
+    compaction_threshold:
+        Stream-compaction trigger: once the fraction of still-active
+        problems in the current working set drops to this value or below,
+        the driver gathers the active rows into a dense sub-batch and
+        sweeps only those (requires row-sliceable callbacks; results are
+        bitwise identical to the full sweep).  ``0`` disables compaction.
+    compaction_min_batch:
+        Batches smaller than this never compact — at tiny widths the
+        gather/scatter bookkeeping costs more than the saved sweep.
     """
 
     max_iter: int = 200
@@ -57,6 +66,8 @@ class TronOptions:
     sigma3: float = 4.0
     delta_init: float | None = None
     delta_max: float = 1e10
+    compaction_threshold: float = 0.5
+    compaction_min_batch: int = 16
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for inconsistent settings."""
@@ -72,3 +83,7 @@ class TronOptions:
             raise ConfigurationError("mu0 must lie in (0, 1)")
         if self.cg_tol <= 0 or self.cg_tol >= 1:
             raise ConfigurationError("cg_tol must lie in (0, 1)")
+        if not (0 <= self.compaction_threshold <= 1):
+            raise ConfigurationError("compaction_threshold must lie in [0, 1]")
+        if self.compaction_min_batch < 1:
+            raise ConfigurationError("compaction_min_batch must be at least 1")

@@ -1,0 +1,364 @@
+"""Stream-compaction engine: primitives, TRON windows, ADMM scenario packing.
+
+The contract under test is strict: compacted execution must be *bitwise*
+identical to the full sweep — same solutions, same per-problem /
+per-scenario iteration counts, same trajectories — because every kernel is
+row- (or scenario-) separable and compaction only changes which rows share
+a batch.  The tests therefore compare against runs with the
+``REPRO_COMPACTION=0`` escape hatch, covering the threshold-crossing path
+where compaction engages (and re-engages) mid-solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.admm import AdmmParameters, solve_acopf_admm_batch
+from repro.admm.state import (
+    cold_start_state,
+    scatter_state_scenarios,
+    select_state_scenarios,
+)
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.parallel.compaction import ActiveSet, Workspace, compaction_enabled
+from repro.parallel.device import SimulatedDevice
+from repro.scenarios import ScenarioSet, load_scaling_scenarios
+from repro.tron.batch import QuadraticBatchProblem, solve_batch
+from repro.tron.options import TronOptions
+from repro.tron.projection import projected_gradient_norm
+
+
+# --------------------------------------------------------------------- #
+# Primitives                                                             #
+# --------------------------------------------------------------------- #
+class TestActiveSet:
+    def test_from_mask_and_gather_scatter(self):
+        mask = np.array([True, False, True, True, False])
+        work = ActiveSet.from_mask(mask)
+        assert work.size == 3 and work.full_size == 5
+        assert work.fraction == pytest.approx(0.6)
+
+        resident = np.arange(10.0).reshape(5, 2)
+        packed = work.gather(resident)
+        assert packed.shape == (3, 2)
+        assert np.array_equal(packed, resident[[0, 2, 3]])
+
+        work.scatter(resident, -packed)
+        assert np.array_equal(resident[[0, 2, 3]], -packed)
+        assert np.array_equal(resident[1], [2.0, 3.0])  # untouched
+
+    def test_gather_works_on_any_leading_axis(self):
+        work = ActiveSet(np.array([1, 3]), 4)
+        vec = np.arange(4.0)
+        mat3 = np.arange(4.0 * 2 * 2).reshape(4, 2, 2)
+        assert np.array_equal(work.gather(vec), [1.0, 3.0])
+        assert np.array_equal(work.gather(mat3), mat3[[1, 3]])
+
+    def test_scatter_where_merges_masked_rows_only(self):
+        work = ActiveSet(np.array([0, 2]), 3)
+        target = np.zeros(3)
+        work.scatter_where(target, np.array([5.0, 7.0]), np.array([False, True]))
+        assert np.array_equal(target, [0.0, 0.0, 7.0])
+
+    def test_refine_composes_resident_indices(self):
+        work = ActiveSet.from_mask(np.array([True, False, True, True]))
+        refined = work.refine(np.array([False, True, True]))
+        assert np.array_equal(refined.indices, [2, 3])
+        assert refined.full_size == 4
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            ActiveSet(np.array([[0]]), 2)
+        with pytest.raises(DimensionError):
+            ActiveSet(np.array([3]), 2)
+        with pytest.raises(DimensionError):
+            ActiveSet(np.array([0]), 2).refine(np.array([True, False]))
+
+
+class TestWorkspace:
+    def test_reuses_buffer_for_same_key_and_shape(self):
+        ws = Workspace()
+        a = ws.take("h", (4, 6, 6))
+        b = ws.take("h", (4, 6, 6))
+        assert a is b
+        assert ws.allocations == 1 and ws.reuses == 1
+
+    def test_reallocates_on_shape_change(self):
+        ws = Workspace()
+        a = ws.take("h", (4, 6))
+        b = ws.take("h", (2, 6))
+        assert a is not b and b.shape == (2, 6)
+        assert ws.allocations == 2
+
+    def test_zeros_clears_reused_buffer(self):
+        ws = Workspace()
+        ws.take("g", (3,))[:] = 7.0
+        assert np.array_equal(ws.zeros("g", (3,)), np.zeros(3))
+
+    def test_clear_and_nbytes(self):
+        ws = Workspace()
+        ws.take("g", (8,))
+        assert ws.nbytes == 8 * 8
+        ws.clear()
+        assert ws.nbytes == 0
+
+
+class TestEscapeHatch:
+    def test_compaction_enabled_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPACTION", raising=False)
+        assert compaction_enabled()
+        for off in ("0", "false", "OFF", "no"):
+            monkeypatch.setenv("REPRO_COMPACTION", off)
+            assert not compaction_enabled()
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        assert compaction_enabled()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            TronOptions(compaction_threshold=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            TronOptions(compaction_min_batch=0).validate()
+        with pytest.raises(ConfigurationError):
+            AdmmParameters(compaction_threshold=-0.1).validate()
+
+
+# --------------------------------------------------------------------- #
+# TRON: compacted vs full sweep                                          #
+# --------------------------------------------------------------------- #
+class _RecordingProblem:
+    """Delegating BatchProblem that records the width of every evaluation."""
+
+    def __init__(self, problem):
+        self._problem = problem
+        self.lb = problem.lb
+        self.ub = problem.ub
+        self.eval_widths = []
+        self.select_rows_calls = []
+
+    def objective(self, x):
+        self.eval_widths.append(x.shape[0])
+        return self._problem.objective(x)
+
+    def gradient(self, x):
+        return self._problem.gradient(x)
+
+    def hessian(self, x):
+        return self._problem.hessian(x)
+
+    def select_rows(self, indices):
+        self.select_rows_calls.append(np.asarray(indices).copy())
+        return self._problem.select_rows(indices)
+
+
+def heterogeneous_qp_batch(rng, batch=48, n=6):
+    """Convex QPs whose conditioning (and TRON iteration count) varies a lot."""
+    mats = []
+    for b in range(batch):
+        a = rng.normal(size=(n, n))
+        mats.append(a @ a.T + (0.02 + 20.0 * (b % 5 == 0)) * np.eye(n))
+    q = np.stack(mats)
+    c = rng.normal(size=(batch, n))
+    bound = np.ones((batch, n))
+    return QuadraticBatchProblem(q, c, -bound, bound)
+
+
+class TestTronCompactionEquivalence:
+    def test_bitwise_identical_to_full_sweep(self, rng, monkeypatch):
+        problem = heterogeneous_qp_batch(rng)
+        x0 = rng.uniform(-1, 1, problem.c.shape)
+        options = TronOptions(compaction_threshold=0.9, compaction_min_batch=4)
+
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        compacted = solve_batch(problem, x0, options=options)
+        monkeypatch.setenv("REPRO_COMPACTION", "0")
+        full = solve_batch(problem, x0, options=options)
+
+        assert np.array_equal(compacted.x, full.x)
+        assert np.array_equal(compacted.f, full.f)
+        assert np.array_equal(compacted.iterations, full.iterations)
+        assert np.array_equal(compacted.converged, full.converged)
+        assert np.array_equal(compacted.projected_gradient_norm,
+                              full.projected_gradient_norm)
+        assert compacted.function_evaluations == full.function_evaluations
+        # The batch really was heterogeneous (the point of compacting).
+        assert compacted.iterations.max() >= 2 * compacted.iterations.min() + 1
+
+    def test_window_engages_and_shrinks_mid_solve(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        problem = _RecordingProblem(heterogeneous_qp_batch(rng))
+        x0 = rng.uniform(-1, 1, problem._problem.c.shape)
+        solve_batch(problem, x0,
+                    options=TronOptions(compaction_threshold=0.9,
+                                        compaction_min_batch=4))
+        # The driver crossed the threshold at least once: some window was
+        # built, and later windows are strictly smaller resident subsets.
+        windows = [c for c in problem.select_rows_calls if c.size > 1]
+        assert windows, "compaction never engaged"
+        assert windows[-1].size < problem.lb.shape[0]
+
+    def test_disabled_below_min_batch(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        problem = _RecordingProblem(heterogeneous_qp_batch(rng, batch=6))
+        x0 = rng.uniform(-1, 1, problem._problem.c.shape)
+        solve_batch(problem, x0,
+                    options=TronOptions(compaction_threshold=0.9,
+                                        compaction_min_batch=64))
+        assert problem.select_rows_calls == []
+
+    def test_reported_pgnorm_matches_final_iterate(self, rng):
+        problem = heterogeneous_qp_batch(rng, batch=20)
+        x0 = rng.uniform(-1, 1, problem.c.shape)
+        result = solve_batch(problem, x0)
+        recomputed = projected_gradient_norm(result.x, problem.gradient(result.x),
+                                             problem.lb, problem.ub)
+        assert np.array_equal(result.projected_gradient_norm, recomputed)
+
+    def test_quadratic_hessian_is_broadcast_view(self, rng):
+        problem = heterogeneous_qp_batch(rng, batch=4)
+        hess = problem.hessian(np.zeros((4, 6)))
+        assert hess.base is not None  # a view, not a fresh copy
+        assert not hess.flags.writeable
+        assert np.array_equal(hess, problem.q)
+
+
+# --------------------------------------------------------------------- #
+# ADMM: scenario packing primitives                                      #
+# --------------------------------------------------------------------- #
+class TestScenarioPacking:
+    @pytest.fixture()
+    def stacked(self, case3, case5, case9):
+        from repro.admm.data import ComponentData
+        params = AdmmParameters()
+        data = ComponentData.from_scenarios([case3, case9, case5], params)
+        return data
+
+    def test_layout_select_rebases_offsets(self, stacked):
+        layout = stacked.scenario_layout
+        sub = layout.select([0, 2])
+        assert sub.names == (layout.names[0], layout.names[2])
+        assert sub.bus_offsets[0] == 0
+        assert np.array_equal(sub.counts("bus"),
+                              layout.counts("bus")[[0, 2]])
+        assert np.array_equal(sub.rho_pq, layout.rho_pq[[0, 2]])
+
+    def test_select_scenarios_matches_fresh_stack(self, stacked, case3, case5):
+        from repro.admm.data import ComponentData
+        sub = stacked.select_scenarios([0, 2])
+        fresh = ComponentData.from_scenarios([case3, case5], stacked.params)
+        assert np.array_equal(sub.gen_bus, fresh.gen_bus)
+        assert np.array_equal(sub.branch_from, fresh.branch_from)
+        assert np.array_equal(sub.branch_to, fresh.branch_to)
+        assert np.array_equal(sub.bus_pd, fresh.bus_pd)
+        for group in sub.rho:
+            assert np.array_equal(np.broadcast_to(sub.rho[group], (sub.group_length(group),)),
+                                  np.broadcast_to(fresh.rho[group], (fresh.group_length(group),)))
+
+    def test_state_pack_scatter_roundtrip(self, stacked):
+        state = cold_start_state(stacked)
+        state.beta = np.array([1.0, 2.0, 3.0])
+        reference = state.copy()
+
+        packed = select_state_scenarios(stacked, state, [1, 2])
+        assert packed.pg.shape[0] == stacked.scenario_layout.counts("gen")[[1, 2]].sum()
+        packed.pg += 1.0
+        packed.w *= 0.5
+        packed.y["wi"][:] = 9.0
+        packed.beta[:] = 7.0
+
+        scatter_state_scenarios(stacked, state, packed, [1, 2])
+        block0 = stacked.scenario_layout.block("gen", 0)
+        assert np.array_equal(state.pg[block0], reference.pg[block0])  # untouched
+        for s in (1, 2):
+            gens = stacked.scenario_layout.block("gen", s)
+            assert np.array_equal(state.pg[gens], reference.pg[gens] + 1.0)
+        assert np.array_equal(np.asarray(state.beta), [1.0, 7.0, 7.0])
+
+
+# --------------------------------------------------------------------- #
+# ADMM: compacted vs full-sweep batch solves                             #
+# --------------------------------------------------------------------- #
+def _solve(scenario_set, params, device=None):
+    return solve_acopf_admm_batch(scenario_set, params=params, device=device)
+
+
+def assert_batches_bitwise_equal(compacted, full):
+    for a, b in zip(compacted, full):
+        assert a.converged == b.converged
+        assert a.inner_iterations == b.inner_iterations
+        assert a.outer_iterations == b.outer_iterations
+        assert np.array_equal(a.vm, b.vm)
+        assert np.array_equal(a.va, b.va)
+        assert np.array_equal(a.pg, b.pg)
+        assert np.array_equal(a.qg, b.qg)
+        assert len(a.iteration_log) == len(b.iteration_log)
+        for la, lb in zip(a.iteration_log, b.iteration_log):
+            assert la.inner_iterations == lb.inner_iterations
+            assert la.z_norm == lb.z_norm
+            assert la.beta == lb.beta
+
+
+class TestAdmmCompactionEquivalence:
+    def test_mixed_networks_bitwise(self, case3, case5, case9, monkeypatch):
+        scenario_set = ScenarioSet.from_networks([case3, case9, case5])
+        params = AdmmParameters(max_outer=2, max_inner=15)
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        compacted = _solve(scenario_set, params)
+        monkeypatch.setenv("REPRO_COMPACTION", "0")
+        full = _solve(scenario_set, params)
+        assert_batches_bitwise_equal(compacted, full)
+
+    def test_threshold_crossing_mid_solve(self, case9, monkeypatch):
+        # The light-load scenarios freeze rounds before the heavy ones, so
+        # compaction engages (and re-engages) mid-solve; trajectories of the
+        # surviving scenarios must be unaffected.
+        scenario_set = load_scaling_scenarios(case9, [0.4, 0.9, 1.0, 1.1])
+        params = AdmmParameters(max_outer=5, max_inner=120, outer_tol=2e-2)
+
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        device_on = SimulatedDevice()
+        compacted = _solve(scenario_set, params, device_on)
+        monkeypatch.setenv("REPRO_COMPACTION", "0")
+        device_off = SimulatedDevice()
+        full = _solve(scenario_set, params, device_off)
+
+        assert_batches_bitwise_equal(compacted, full)
+        # Scenarios froze at different times...
+        outers = [s.outer_iterations for s in compacted]
+        assert min(outers) < max(outers)
+        # ...so the full sweep wasted width (occupancy < 1) that the
+        # compacted stream reclaimed (occupancy = 1).
+        on = device_on.kernels["branch_update"]
+        off = device_off.kernels["branch_update"]
+        assert on.occupancy == pytest.approx(1.0)
+        assert off.occupancy < 1.0
+        assert on.total_elements < off.total_elements
+
+    def test_partial_threshold_keeps_frozen_resident(self, case9, monkeypatch):
+        # threshold 0.5: one frozen scenario of four is not enough to
+        # compact, so frozen rows stay resident (sub-1 occupancy) until
+        # half the batch froze — results must still match the full sweep.
+        scenario_set = load_scaling_scenarios(case9, [0.4, 0.9, 1.0, 1.1])
+        params = AdmmParameters(max_outer=5, max_inner=120, outer_tol=2e-2,
+                                compaction_threshold=0.5)
+        monkeypatch.setenv("REPRO_COMPACTION", "1")
+        compacted = _solve(scenario_set, params)
+        monkeypatch.setenv("REPRO_COMPACTION", "0")
+        full = _solve(scenario_set, params)
+        assert_batches_bitwise_equal(compacted, full)
+
+    def test_compaction_threshold_zero_disables(self, case3, case5):
+        scenario_set = ScenarioSet.from_networks([case3, case5])
+        params = AdmmParameters(max_outer=2, max_inner=15,
+                                compaction_threshold=0.0)
+        device = SimulatedDevice()
+        solutions = _solve(scenario_set, params, device)
+        assert all(s is not None for s in solutions)
+
+    def test_last_state_covers_full_layout(self, case3, case9):
+        from repro.admm import BatchAdmmSolver
+        solver = BatchAdmmSolver(ScenarioSet.from_networks([case3, case9]),
+                                 params=AdmmParameters(max_outer=2, max_inner=15))
+        solver.solve()
+        layout = solver.data.scenario_layout
+        assert solver.last_state.pg.shape[0] == int(layout.counts("gen").sum())
+        assert solver.last_state.w.shape[0] == int(layout.counts("bus").sum())
+        assert np.asarray(solver.last_state.beta).shape == (2,)
