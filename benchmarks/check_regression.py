@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI performance-regression gate: compare fresh BENCH_*.json to baselines.
+
+Every throughput benchmark writes a ``BENCH_*.json`` artifact; blessed
+copies of those artifacts live in ``benchmarks/baselines/``.  This script
+compares the *gated metric* of each fresh artifact against its baseline and
+fails (exit 1) when the fresh value has dropped by more than the tolerance
+(default 25 %).
+
+The gated metrics are all **speedup ratios** (compacted vs full sweep,
+batched vs sequential, pooled makespan at N workers vs 1), not absolute
+wall-clock numbers — ratios compare a machine to itself, so the gate is
+meaningful on CI runners of any speed.  Baselines are recorded at smoke
+sizes (``REPRO_BENCH_SMOKE=1``) because that is what the PR-gating job
+runs; a fresh artifact whose ``smoke_mode`` disagrees with its baseline is
+skipped with a warning rather than compared apples-to-oranges (the weekly
+full-size workflow uploads artifacts without gating).
+
+Updating a baseline (see EXPERIMENTS.md for the full workflow)::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest \
+        benchmarks/test_compaction_throughput.py \
+        benchmarks/test_batch_throughput.py \
+        benchmarks/test_pool_throughput.py -q
+    cp BENCH_compaction.json BENCH_batch.json BENCH_pool.json benchmarks/baselines/
+
+then bless the gated value in each copied file: move the measured
+``speedup`` into ``speedup_measured`` and set ``speedup`` slightly below
+it, so run-to-run noise at smoke sizes doesn't trip the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py [--results-dir .] \
+        [--baseline-dir benchmarks/baselines] [--tolerance 0.25] [--require-all]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: file name -> (dotted path of the gated metric, per-file tolerance or None)
+GATED_METRICS: dict[str, tuple[str, float | None]] = {
+    "BENCH_compaction.json": ("speedup", None),
+    "BENCH_batch.json": ("speedup", None),
+    "BENCH_pool.json": ("speedup", None),
+}
+
+
+def extract(payload: dict, dotted: str):
+    value = payload
+    for key in dotted.split("."):
+        value = value[key]
+    return float(value)
+
+
+def check_file(name: str, results_dir: Path, baseline_dir: Path,
+               default_tolerance: float, require_all: bool) -> tuple[bool, str]:
+    """Returns ``(ok, message)`` for one artifact/baseline pair."""
+    metric, tolerance = GATED_METRICS[name]
+    tolerance = default_tolerance if tolerance is None else tolerance
+    baseline_path = baseline_dir / name
+    fresh_path = results_dir / name
+
+    if not baseline_path.exists():
+        return True, f"SKIP {name}: no baseline committed"
+    if not fresh_path.exists():
+        message = f"{name}: baseline exists but no fresh artifact was produced"
+        return (not require_all), ("FAIL " if require_all else "SKIP ") + message
+
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    if bool(baseline.get("smoke_mode")) != bool(fresh.get("smoke_mode")):
+        return True, (f"SKIP {name}: smoke_mode mismatch "
+                      f"(baseline={baseline.get('smoke_mode')}, "
+                      f"fresh={fresh.get('smoke_mode')}) — not comparable")
+    if baseline.get("worker_count") != fresh.get("worker_count"):
+        # e.g. a local REPRO_BENCH_POOL_WORKERS=1,2 run vs the committed
+        # 4-worker baseline: a 2-worker speedup is not a regression
+        return True, (f"SKIP {name}: worker_count mismatch "
+                      f"(baseline={baseline.get('worker_count')}, "
+                      f"fresh={fresh.get('worker_count')}) — not comparable")
+
+    baseline_value = extract(baseline, metric)
+    fresh_value = extract(fresh, metric)
+    floor = baseline_value * (1.0 - tolerance)
+    detail = (f"{name}: {metric} fresh={fresh_value:.3f} "
+              f"baseline={baseline_value:.3f} "
+              f"(floor={floor:.3f}, tolerance={tolerance:.0%}, "
+              f"baseline sha={baseline.get('git_sha', 'unknown')[:8]})")
+    if fresh_value < floor:
+        return False, f"FAIL {detail}"
+    return True, f"OK   {detail}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--results-dir", type=Path, default=Path("."),
+                        help="directory holding the fresh BENCH_*.json files")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path(__file__).resolve().parent / "baselines")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop before failing "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a committed baseline has no fresh "
+                             "artifact (CI: every gated benchmark must run)")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for name in sorted(GATED_METRICS):
+        ok, message = check_file(name, args.results_dir, args.baseline_dir,
+                                 args.tolerance, args.require_all)
+        print(message)
+        failed = failed or not ok
+
+    if failed:
+        print("\nperformance regression gate FAILED — if the drop is expected "
+              "(e.g. a deliberate trade-off), refresh the baselines per "
+              "EXPERIMENTS.md and commit them with the change")
+        return 1
+    print("\nperformance regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,10 @@ Environment knobs (all optional):
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+from pathlib import Path
 
 import pytest
 
@@ -37,6 +40,48 @@ from repro.analysis.experiments import (
 def smoke_mode() -> bool:
     """Whether the reduced-size benchmark mode is requested (CI smoke job)."""
     return os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in ("1", "true", "yes")
+
+
+def repo_git_sha() -> str:
+    """The repo's HEAD commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def write_bench_json(path: Path, payload: dict, workers: int = 1) -> Path:
+    """Atomically write one ``BENCH_*.json`` artifact, stamped for provenance.
+
+    The payload is written to a same-directory temp file and ``os.replace``d
+    into place, so concurrent pool runs / CI artifact uploads can never
+    observe a partially written file; it is stamped with the git SHA, the
+    worker count that produced it, and the smoke-mode flag so artifacts are
+    attributable after the fact.
+    """
+    path = Path(path)
+    payload = dict(payload)
+    payload.setdefault("git_sha", repo_git_sha())
+    payload.setdefault("worker_count", int(workers))
+    payload.setdefault("smoke_mode", smoke_mode())
+    text = json.dumps(payload, indent=2) + "\n"
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_writer():
+    """Fixture view of :func:`write_bench_json` for the benchmark tests."""
+    return write_bench_json
 
 
 @pytest.fixture(scope="session")

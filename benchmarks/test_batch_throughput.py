@@ -17,12 +17,15 @@ element throughput (occupancy) than the sequential one.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 from repro.admm import AdmmParameters, scenario_parameters, solve_acopf_admm, solve_acopf_admm_batch
 from repro.analysis.reporting import render_table
 from repro.grid.cases import load_case
 from repro.parallel.device import SimulatedDevice
 from repro.scenarios import load_scaling_scenarios
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
 
 #: Shared iteration budget — both arms run exactly the same trajectories,
 #: so capping it changes benchmark time, not the comparison.  The CI smoke
@@ -34,7 +37,7 @@ SMOKE_PARAMS = dict(max_outer=2, max_inner=25)
 N_SCENARIOS = 8
 
 
-def test_batched_beats_sequential_wallclock(benchmark, smoke):
+def test_batched_beats_sequential_wallclock(benchmark, smoke, bench_writer):
     network = load_case("case9")
     factors = [0.75 + 0.05 * k for k in range(N_SCENARIOS)]
     scenario_set = load_scaling_scenarios(network, factors)
@@ -85,3 +88,15 @@ def test_batched_beats_sequential_wallclock(benchmark, smoke):
         assert (batched_stats[kernel]["elements_per_second"]
                 > sequential_stats[kernel]["elements_per_second"]), (
             f"{kernel}: batched occupancy should beat sequential")
+
+    bench_writer(RESULT_PATH, {
+        "benchmark": "batch_throughput",
+        "case": "case9",
+        "n_scenarios": N_SCENARIOS,
+        "batched_seconds": batched_seconds,
+        "sequential_seconds": sequential_seconds,
+        "speedup": sequential_seconds / batched_seconds,
+        "batched_device": batched_device.as_dict(),
+        "sequential_device": sequential_device.as_dict(),
+    })
+    print(f"wrote {RESULT_PATH}")

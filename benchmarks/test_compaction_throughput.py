@@ -23,7 +23,6 @@ runs: the bitwise-equivalence assertions stay, the 2× bar relaxes to >1
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -54,7 +53,8 @@ def heterogeneous_n1_batch() -> ScenarioSet:
     return ScenarioSet(scenarios=tuple(scenarios), name=f"{CASE}-n1-heterogeneous")
 
 
-def test_compaction_speedup_on_heterogeneous_n1_batch(benchmark, monkeypatch, smoke):
+def test_compaction_speedup_on_heterogeneous_n1_batch(benchmark, monkeypatch, smoke,
+                                                      bench_writer):
     scenario_set = heterogeneous_n1_batch()
     if smoke:
         params = parameters_for_case(load_case(CASE), max_outer=2, max_inner=12,
@@ -116,7 +116,7 @@ def test_compaction_speedup_on_heterogeneous_n1_batch(benchmark, monkeypatch, sm
         f"compacted {compacted_seconds:.2f}s vs full sweep {full_seconds:.2f}s "
         f"({speedup:.2f}x, required ≥ {required}x)")
 
-    RESULT_PATH.write_text(json.dumps({
+    bench_writer(RESULT_PATH, {
         "benchmark": "compaction_throughput",
         "case": CASE,
         "scenarios": [s.name for s in scenario_set.scenarios],
@@ -134,5 +134,5 @@ def test_compaction_speedup_on_heterogeneous_n1_batch(benchmark, monkeypatch, sm
             for s in compacted],
         "compacted_device": compacted_device.as_dict(),
         "full_sweep_device": full_device.as_dict(),
-    }, indent=2) + "\n")
+    })
     print(f"wrote {RESULT_PATH}")

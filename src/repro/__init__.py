@@ -43,6 +43,7 @@ from repro.scenarios import (
     monte_carlo_load_scenarios,
     penalty_sweep_scenarios,
 )
+from repro.parallel import DevicePool, PoolReport, solve_acopf_admm_pool
 from repro.tracking import make_load_profile, track_horizon
 
 __version__ = "1.0.0"
@@ -53,7 +54,10 @@ __all__ = [
     "AdmmSolver",
     "solve_acopf_admm",
     "BatchAdmmSolver",
+    "DevicePool",
+    "PoolReport",
     "solve_acopf_admm_batch",
+    "solve_acopf_admm_pool",
     "scenario_parameters",
     "Scenario",
     "ScenarioSet",

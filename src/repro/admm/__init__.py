@@ -21,9 +21,12 @@ Public entry points:
 
 from repro.admm.batch_solver import (
     BatchAdmmSolver,
+    ShardResult,
+    ShardTask,
     extract_scenario_state,
     scenario_parameters,
     solve_acopf_admm_batch,
+    solve_scenario_shard,
 )
 from repro.admm.parameters import AdmmParameters, suggest_penalties
 from repro.admm.solver import AdmmSolution, AdmmSolver, solve_acopf_admm
@@ -35,7 +38,10 @@ __all__ = [
     "AdmmSolver",
     "solve_acopf_admm",
     "BatchAdmmSolver",
+    "ShardResult",
+    "ShardTask",
     "solve_acopf_admm_batch",
+    "solve_scenario_shard",
     "scenario_parameters",
     "extract_scenario_state",
 ]

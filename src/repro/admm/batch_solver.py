@@ -23,7 +23,8 @@ standalone :func:`~repro.admm.solver.solve_acopf_admm` call would produce.
 from __future__ import annotations
 
 import time
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -46,6 +47,7 @@ from repro.admm.state import (
     select_state_scenarios,
 )
 from repro.analysis.metrics import constraint_violation
+from repro.exceptions import ConfigurationError
 from repro.logging_utils import get_logger
 from repro.parallel.compaction import Workspace, compaction_enabled
 from repro.parallel.device import SimulatedDevice
@@ -93,8 +95,19 @@ class BatchAdmmSolver:
         self.last_state: AdmmState | None = None
 
     # ------------------------------------------------------------------ #
-    def solve(self, time_limit: float | None = None) -> list[AdmmSolution]:
+    def solve(self, time_limit: float | None = None,
+              warm_start: Sequence[AdmmState | None] | None = None,
+              ) -> list[AdmmSolution]:
         """Run the stacked two-level loop; one solution per scenario.
+
+        ``warm_start`` optionally supplies one per-scenario
+        :class:`~repro.admm.state.AdmmState` (or ``None`` for a cold start of
+        that scenario) — the shapes a previous solve's
+        :func:`extract_scenario_state` snapshots have.  This is what makes a
+        shard *resumable*: a pool worker (or a tracking driver) can re-enter
+        the loop from where a previous solve of the same scenarios stopped.
+        As with the single-network solver's warm start, the outer level
+        restarts (``β`` back to ``beta_init``, outer iteration 1).
 
         **Stream compaction.**  A frozen scenario's kernels are pure waste
         (idle thread blocks on the paper's GPU, dead vector width here), so
@@ -117,6 +130,15 @@ class BatchAdmmSolver:
         start = time.perf_counter()
 
         state_full = cold_start_state(data_full)
+        if warm_start is not None:
+            if len(warm_start) != n_scenarios:
+                raise ConfigurationError(
+                    f"warm_start has {len(warm_start)} states for "
+                    f"{n_scenarios} scenarios")
+            for s, scenario_state in enumerate(warm_start):
+                if scenario_state is not None:
+                    scatter_state_scenarios(data_full, state_full,
+                                            scenario_state, [s])
         state_full.beta = np.full(n_scenarios, params.beta_init)
 
         outer = np.ones(n_scenarios, dtype=int)
@@ -318,3 +340,66 @@ def solve_acopf_admm_batch(scenarios, params: AdmmParameters | None = None,
     """
     solver = BatchAdmmSolver(scenarios, params=params, device=device)
     return solver.solve(time_limit=time_limit)
+
+
+# --------------------------------------------------------------------- #
+# Multi-device sharding entry point                                      #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of :class:`~repro.parallel.pool.DevicePool` work.
+
+    Everything in here is picklable, so a task can cross a process boundary
+    to a worker: the scenario sub-batch itself, the *global* positions those
+    scenarios occupy in the pool's full batch (for stable re-merge), the
+    shared solve knobs, and optional per-scenario warm-start states that make
+    a shard resumable.  ``time_limit`` is the aggregate budget of this
+    shard's stacked solve, exactly as in :meth:`BatchAdmmSolver.solve`.
+    """
+
+    indices: tuple[int, ...]
+    scenarios: ScenarioSet
+    params: AdmmParameters | None = None
+    time_limit: float | None = None
+    warm_states: tuple[AdmmState | None, ...] | None = None
+    device_name: str = "shard"
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.scenarios):
+            raise ConfigurationError(
+                f"shard has {len(self.indices)} indices for "
+                f"{len(self.scenarios)} scenarios")
+
+
+@dataclass
+class ShardResult:
+    """What a worker sends back: per-scenario solutions plus device metrics.
+
+    ``indices`` mirror the task's global positions (``solutions[k]`` is the
+    solution of global scenario ``indices[k]``); ``device`` is the worker's
+    :meth:`~repro.parallel.device.SimulatedDevice.as_dict` snapshot for this
+    shard and ``seconds`` the worker-side wall-clock of the solve — the
+    quantity the pool's makespan accounting is built from.
+    """
+
+    indices: tuple[int, ...]
+    solutions: list[AdmmSolution]
+    device: dict = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+def solve_scenario_shard(task: ShardTask) -> ShardResult:
+    """Solve one shard on its own simulated device (the pool worker body).
+
+    A module-level function so it pickles under every multiprocessing start
+    method; per-scenario results are bit-for-bit those of the full-batch
+    (and of the standalone sequential) solve because scenarios never couple.
+    """
+    device = SimulatedDevice(name=task.device_name)
+    solver = BatchAdmmSolver(task.scenarios, params=task.params, device=device)
+    start = time.perf_counter()
+    solutions = solver.solve(time_limit=task.time_limit,
+                             warm_start=task.warm_states)
+    seconds = time.perf_counter() - start
+    return ShardResult(indices=task.indices, solutions=solutions,
+                       device=device.as_dict(), seconds=seconds)

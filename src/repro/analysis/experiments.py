@@ -24,6 +24,7 @@ from repro.analysis.metrics import relative_objective_gap
 from repro.analysis.reporting import render_series, render_table
 from repro.baseline.interior_point import InteriorPointOptions
 from repro.baseline.solver import solve_acopf_ipm
+from repro.exceptions import ConfigurationError
 from repro.grid.cases import load_case
 from repro.scenarios import ScenarioSet
 from repro.tracking.horizon import relative_gaps, track_horizon
@@ -111,7 +112,9 @@ def table2(cases: Sequence[str] = DEFAULT_CASES,
            admm_params: AdmmParameters | None = None,
            ipm_options: InteriorPointOptions | None = None,
            time_limit: float | None = None,
-           batched: bool = True) -> list[ColdStartRow]:
+           batched: bool = True,
+           pool_workers: int | None = None,
+           pool_executor: str = "process") -> list[ColdStartRow]:
     """Cold-start performance of the ADMM solver vs. the centralized baseline.
 
     With ``batched=True`` (the default) every case's ADMM solve runs in one
@@ -122,12 +125,28 @@ def table2(cases: Sequence[str] = DEFAULT_CASES,
     per-case ``admm_seconds`` is the shared stream's elapsed time at the
     moment the case froze, so the *last* row's time is the whole batch's.
 
-    ``time_limit`` is a *per-case* ADMM budget in both modes; the batched
+    ``pool_workers`` shards the batch across a
+    :class:`~repro.parallel.pool.DevicePool` of that many simulated devices
+    (``pool_executor`` selects the executor; per-case results stay
+    bit-for-bit identical — the pool only changes where each case runs);
+    ``admm_seconds`` then reports each case's shard solve time.
+
+    ``time_limit`` is a *per-case* ADMM budget in all modes; the batched
     stream, which solves all cases concurrently, receives the aggregate
     ``time_limit * len(cases)``.
     """
     networks = [load_case(name) for name in cases]
-    if batched:
+    if pool_workers is not None and not batched:
+        raise ConfigurationError(
+            "pool_workers shards the batched stream; it cannot be combined "
+            "with batched=False (one-solve-per-case mode)")
+    if batched and pool_workers is not None:
+        from repro.parallel.pool import DevicePool
+        scenario_set = ScenarioSet.from_networks(networks, names=list(cases))
+        pool = DevicePool(n_workers=pool_workers, executor=pool_executor)
+        admm_solutions = pool.solve(scenario_set, params=admm_params,
+                                    time_limit=time_limit).solutions
+    elif batched:
         scenario_set = ScenarioSet.from_networks(networks, names=list(cases))
         admm_solutions = solve_acopf_admm_batch(
             scenario_set, params=admm_params,
@@ -238,12 +257,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         choices=["table1", "table2", "fig1", "fig2", "fig3"])
     parser.add_argument("--cases", nargs="+", default=list(DEFAULT_CASES))
     parser.add_argument("--periods", type=int, default=DEFAULT_PERIODS)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard table2 across a DevicePool of this many "
+                             "simulated devices (default: one shared stream)")
     args = parser.parse_args(argv)
 
     if args.experiment == "table1":
         print(render_table1(args.cases))
     elif args.experiment == "table2":
-        print(render_table2(table2(args.cases)))
+        print(render_table2(table2(args.cases, pool_workers=args.workers)))
     else:
         experiment = tracking_experiment(args.cases[0], n_periods=args.periods)
         renderer = {"fig1": render_figure1, "fig2": render_figure2,

@@ -11,15 +11,26 @@ wall-clock time so benchmarks can report the breakdown the paper discusses
 """
 
 from repro.parallel.compaction import ActiveSet, Workspace, compaction_enabled
-from repro.parallel.device import KernelRecord, SimulatedDevice
+from repro.parallel.device import KernelRecord, SimulatedDevice, merge_device_dicts
 from repro.parallel.kernels import elementwise_kernel, launch_over_elements
+from repro.parallel.pool import (
+    DevicePool,
+    PoolExecutionError,
+    PoolReport,
+    solve_acopf_admm_pool,
+)
 
 __all__ = [
     "ActiveSet",
+    "DevicePool",
     "KernelRecord",
+    "PoolExecutionError",
+    "PoolReport",
     "SimulatedDevice",
     "Workspace",
     "compaction_enabled",
     "elementwise_kernel",
     "launch_over_elements",
+    "merge_device_dicts",
+    "solve_acopf_admm_pool",
 ]

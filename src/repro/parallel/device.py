@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 
 @dataclass
@@ -134,3 +134,30 @@ class SimulatedDevice:
                          f"  occ={rec.occupancy:5.1%}")
             lines.append(line)
         return "\n".join(lines)
+
+
+def merge_device_dicts(snapshots: Iterable[dict[str, Any]],
+                       name: str = "device-pool") -> dict[str, Any]:
+    """Aggregate several :meth:`SimulatedDevice.as_dict` snapshots into one.
+
+    The pool's workers each run their shards on their own device; this sums
+    the per-kernel counters (launches, seconds, elements, active elements)
+    across all of them and recomputes the derived throughput / occupancy /
+    mean columns, yielding the fleet-wide view a multi-GPU run would report.
+    """
+    merged: dict[str, KernelRecord] = defaultdict(KernelRecord)
+    total_seconds = 0.0
+    for snapshot in snapshots:
+        total_seconds += float(snapshot.get("total_seconds", 0.0))
+        for kernel_name, stats in snapshot.get("kernels", {}).items():
+            record = merged[kernel_name]
+            record.launches += int(stats.get("launches", 0))
+            record.total_seconds += float(stats.get("total_seconds", 0.0))
+            record.total_elements += int(stats.get("total_elements", 0))
+            record.total_active_elements += int(stats.get("total_active_elements", 0))
+    return {
+        "device": name,
+        "total_seconds": total_seconds,
+        "kernels": {kernel_name: record.as_dict()
+                    for kernel_name, record in sorted(merged.items())},
+    }

@@ -1,0 +1,514 @@
+"""Multi-device scenario sharding: a pool of simulated devices.
+
+The paper's decomposition turns one ACOPF into millions of tiny independent
+subproblems precisely so they can saturate *wide* hardware; scenario
+batching (PR 1) and stream compaction (PR 2) fill one simulated device.
+This module adds the next axis — many devices.  A :class:`DevicePool`
+shards a :class:`~repro.scenarios.ScenarioSet` into cost-balanced
+sub-batches, runs every shard through a
+:class:`~repro.admm.batch_solver.BatchAdmmSolver` on its own
+:class:`~repro.parallel.device.SimulatedDevice` (one ``multiprocessing``
+worker per device by default; an in-process sequential executor for
+determinism and debugging), and merges per-scenario results and device
+metrics back into one :class:`PoolReport` in the original batch order.
+
+**Placement** is cost-aware: scenarios are partitioned by estimated element
+count (:meth:`~repro.scenarios.ScenarioSet.split`), not scenario count, so
+one huge network weighs as much as many small ones.  **Rebalance** is
+dynamic: the parent process keeps every shard as a queue of not-yet-
+dispatched scenarios and hands them to its worker a chunk at a time; a
+worker whose shard freezes early (cheap scenarios converge first — exactly
+the heterogeneity stream compaction exposes) *steals* pending scenarios
+from the most-loaded shard instead of going dark.
+
+Because scenarios never couple, every per-scenario trajectory is bit-for-bit
+the one the single-device batched solve (and the standalone sequential
+solve) produces — sharding only changes *where* a scenario runs.
+
+**Makespan accounting.**  Each chunk's solve time is measured inside the
+worker; a worker's busy time is the sum of its chunks and the pool's
+*makespan* is the largest per-worker busy time — the wall-clock a fleet of
+real devices would need, independent of how many CPU cores this host can
+actually dedicate to the worker processes.  ``wall_seconds`` records the
+observed host wall-clock as well (on a single-core host the processes
+timeshare, so only the makespan shows the multi-device scaling; this is the
+same simulated-hardware viewpoint as ``SimulatedDevice`` itself).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.logging_utils import get_logger
+from repro.parallel.device import merge_device_dicts
+from repro.scenarios import ScenarioSet, as_scenario_set, partition_costs
+
+LOGGER = get_logger("parallel.pool")
+
+#: Executors a :class:`DevicePool` can run shards on.
+EXECUTORS = ("process", "sequential")
+
+#: Placement policies for the initial shard partition.
+PLACEMENTS = ("cost", "count")
+
+
+class PoolExecutionError(ReproError):
+    """A worker failed while solving a shard.
+
+    Carries the global indices and names of the scenarios in the failing
+    chunk plus the worker-side traceback, so the offending scenario is
+    identifiable without digging through worker logs.
+    """
+
+    def __init__(self, message: str, *, worker: int | None = None,
+                 indices: tuple[int, ...] = (),
+                 scenario_names: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.indices = indices
+        self.scenario_names = scenario_names
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One dispatched chunk: which worker solved which scenarios."""
+
+    worker: int
+    indices: tuple[int, ...]
+    origin: int
+    stolen: bool
+    seconds: float
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker aggregate of the pool run."""
+
+    worker: int
+    chunks: int = 0
+    scenarios: int = 0
+    steals: int = 0
+    busy_seconds: float = 0.0
+    device: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"worker": self.worker, "chunks": self.chunks,
+                "scenarios": self.scenarios, "steals": self.steals,
+                "busy_seconds": self.busy_seconds, "device": self.device}
+
+
+@dataclass
+class PoolReport:
+    """Merged result of one pooled solve.
+
+    ``solutions`` are in the original batch order regardless of which worker
+    solved what; ``makespan_seconds`` is the simulated multi-device
+    wall-clock (max per-worker busy time), ``total_busy_seconds`` the
+    serial-equivalent work, and ``device`` the fleet-wide merged kernel
+    metrics.
+    """
+
+    solutions: list
+    n_workers: int
+    executor: str
+    placement: str
+    wall_seconds: float
+    makespan_seconds: float
+    total_busy_seconds: float
+    chunks: list[ChunkRecord] = field(default_factory=list)
+    workers: list[WorkerStats] = field(default_factory=list)
+    device: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_steals(self) -> int:
+        return sum(1 for chunk in self.chunks if chunk.stolen)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Serial-equivalent work over makespan — the scheduling speedup."""
+        if self.makespan_seconds <= 0.0:
+            return 1.0
+        return self.total_busy_seconds / self.makespan_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable snapshot for the benchmark harness."""
+        return {
+            "n_workers": self.n_workers,
+            "executor": self.executor,
+            "placement": self.placement,
+            "wall_seconds": self.wall_seconds,
+            "makespan_seconds": self.makespan_seconds,
+            "total_busy_seconds": self.total_busy_seconds,
+            "parallel_speedup": self.parallel_speedup,
+            "n_steals": self.n_steals,
+            "chunks": [{"worker": c.worker, "indices": list(c.indices),
+                        "origin": c.origin, "stolen": c.stolen,
+                        "seconds": c.seconds} for c in self.chunks],
+            "workers": [w.as_dict() for w in self.workers],
+            "device": self.device,
+        }
+
+
+class _StealScheduler:
+    """Parent-side work queue: per-shard pending scenarios plus stealing.
+
+    ``pending[w]`` holds shard ``w``'s not-yet-dispatched scenario ids in
+    ascending order.  ``next_chunk(w)`` serves worker ``w`` from its own
+    shard first; once that is empty it steals from the tail of the shard
+    with the largest remaining cost, provided the victim still has at least
+    ``steal_threshold`` pending scenarios (below that, the owner finishes
+    its own tail and stealing would only shuffle work around).
+    """
+
+    def __init__(self, shards: Sequence[Sequence[int]], costs: Sequence[float],
+                 chunk_scenarios: int, steal_threshold: int) -> None:
+        self.pending = [deque(shard) for shard in shards]
+        self.costs = list(costs)
+        self.chunk = max(1, int(chunk_scenarios))
+        self.steal_threshold = max(1, int(steal_threshold))
+
+    def remaining_cost(self, shard: int) -> float:
+        return sum(self.costs[i] for i in self.pending[shard])
+
+    @property
+    def n_pending(self) -> int:
+        return sum(len(p) for p in self.pending)
+
+    def next_chunk(self, worker: int) -> tuple[tuple[int, ...], int, bool] | None:
+        """``(indices, origin_shard, stolen)`` for ``worker``, or ``None``."""
+        own = self.pending[worker]
+        if own:
+            take = tuple(own.popleft() for _ in range(min(self.chunk, len(own))))
+            return take, worker, False
+        victims = [w for w, p in enumerate(self.pending)
+                   if w != worker and len(p) >= self.steal_threshold]
+        if not victims:
+            return None
+        victim = max(victims, key=self.remaining_cost)
+        queue = self.pending[victim]
+        take = tuple(reversed([queue.pop()
+                               for _ in range(min(self.chunk, len(queue)))]))
+        return take, victim, True
+
+
+class DevicePool:
+    """Shard a scenario batch across a pool of simulated devices.
+
+    Parameters
+    ----------
+    n_workers:
+        Devices in the pool (default: the host CPU count).  A solve never
+        uses more workers than it has scenarios.
+    executor:
+        ``"process"`` (default) runs each device in its own
+        ``multiprocessing`` worker; ``"sequential"`` runs the identical
+        scheduler in-process, one chunk at a time, for determinism and
+        debugging (results are identical either way — only wall-clock and
+        the busy-time measurements differ).
+    placement:
+        ``"cost"`` (default) balances the initial shards by estimated
+        element count; ``"count"`` by scenario count.
+    chunk_scenarios:
+        Scenarios dispatched to a worker per task — the stealing
+        granularity.  Default: about a quarter shard,
+        ``ceil(S / (4 * workers))``, so every worker returns to the
+        scheduler a few times and can steal or be stolen from.
+    steal_threshold:
+        Minimum pending scenarios a victim shard must have before an idle
+        worker may steal from it (default 1: steal whatever is left).
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else the platform default).
+    solve_fn:
+        The shard entry point, a picklable callable mapping
+        :class:`~repro.admm.batch_solver.ShardTask` to
+        :class:`~repro.admm.batch_solver.ShardResult`.  Defaults to
+        :func:`~repro.admm.batch_solver.solve_scenario_shard`; tests inject
+        failing stand-ins here.
+    """
+
+    def __init__(self, n_workers: int | None = None, executor: str = "process",
+                 placement: str = "cost", chunk_scenarios: int | None = None,
+                 steal_threshold: int = 1, start_method: str | None = None,
+                 solve_fn: Callable | None = None) -> None:
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}")
+        if placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement {placement!r}; choose from {PLACEMENTS}")
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError("n_workers must be at least 1")
+        if chunk_scenarios is not None and chunk_scenarios < 1:
+            raise ConfigurationError("chunk_scenarios must be at least 1")
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+        self.executor = executor
+        self.placement = placement
+        self.chunk_scenarios = chunk_scenarios
+        self.steal_threshold = steal_threshold
+        self.start_method = start_method
+        self._solve_fn = solve_fn
+
+    # ------------------------------------------------------------------ #
+    def solve(self, scenarios, params=None,
+              time_limit: float | None = None) -> PoolReport:
+        """Solve the batch across the pool; results in batch order.
+
+        ``time_limit`` is a *per-scenario* budget: each dispatched chunk
+        receives ``time_limit * len(chunk)`` as its aggregate shard budget
+        (the pool analogue of the batched solver's aggregate limit).
+        """
+        scenario_set = as_scenario_set(scenarios)
+        n_scenarios = len(scenario_set)
+        workers = max(1, min(self.n_workers, n_scenarios))
+        costs = scenario_set.costs(self.placement)
+        shards = partition_costs(costs, workers)
+        chunk = self.chunk_scenarios
+        if chunk is None:
+            chunk = max(1, -(-n_scenarios // (4 * workers)))
+        scheduler = _StealScheduler(shards, costs, chunk, self.steal_threshold)
+        LOGGER.debug("pool: %d scenarios over %d %s workers, shards=%s, chunk=%d",
+                     n_scenarios, workers, self.executor, shards, chunk)
+
+        start = time.perf_counter()
+        if self.executor == "sequential":
+            result = self._run_sequential(scenario_set, params, time_limit,
+                                          scheduler, workers)
+        else:
+            result = self._run_processes(scenario_set, params, time_limit,
+                                         scheduler, workers)
+        solutions, chunks, worker_devices = result
+        wall = time.perf_counter() - start
+
+        missing = [s for s, solution in enumerate(solutions) if solution is None]
+        if missing:
+            raise PoolExecutionError(
+                f"pool finished without solutions for scenarios {missing}",
+                indices=tuple(missing),
+                scenario_names=tuple(scenario_set[s].name for s in missing))
+
+        stats = [WorkerStats(worker=w) for w in range(workers)]
+        for record in chunks:
+            worker_stats = stats[record.worker]
+            worker_stats.chunks += 1
+            worker_stats.scenarios += len(record.indices)
+            worker_stats.steals += int(record.stolen)
+            worker_stats.busy_seconds += record.seconds
+        for w, devices in worker_devices.items():
+            stats[w].device = merge_device_dicts(devices, name=f"worker{w}")
+        busy = [s.busy_seconds for s in stats]
+        return PoolReport(
+            solutions=solutions,
+            n_workers=workers,
+            executor=self.executor,
+            placement=self.placement,
+            wall_seconds=wall,
+            makespan_seconds=max(busy) if busy else 0.0,
+            total_busy_seconds=sum(busy),
+            chunks=chunks,
+            workers=stats,
+            device=merge_device_dicts((s.device for s in stats if s.device),
+                                      name=f"pool[{workers}]"),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _resolve_solve_fn(self) -> Callable:
+        if self._solve_fn is not None:
+            return self._solve_fn
+        from repro.admm.batch_solver import solve_scenario_shard
+        return solve_scenario_shard
+
+    def _make_task(self, scenario_set: ScenarioSet, params,
+                   time_limit: float | None, indices: tuple[int, ...],
+                   worker: int):
+        from repro.admm.batch_solver import ShardTask
+        return ShardTask(
+            indices=indices,
+            scenarios=scenario_set.subset(indices),
+            params=params,
+            time_limit=None if time_limit is None else time_limit * len(indices),
+            device_name=f"worker{worker}")
+
+    @staticmethod
+    def _chunk_error(scenario_set: ScenarioSet, worker: int,
+                     indices: tuple[int, ...], detail: str) -> PoolExecutionError:
+        names = tuple(scenario_set[i].name for i in indices)
+        listing = ", ".join(f"{i}:{name}" for i, name in zip(indices, names))
+        return PoolExecutionError(
+            f"worker {worker} failed on scenarios [{listing}]\n{detail}",
+            worker=worker, indices=indices, scenario_names=names)
+
+    # ------------------------------------------------------------------ #
+    def _run_sequential(self, scenario_set: ScenarioSet, params,
+                        time_limit: float | None, scheduler: _StealScheduler,
+                        workers: int):
+        """In-process executor: same scheduler, simulated worker clocks.
+
+        Chunks run one at a time, so each chunk's measured seconds are
+        contention-free; dispatch order follows the simulated clocks (the
+        worker with the least accumulated busy time is served next), which
+        reproduces the process executor's scheduling decisions
+        deterministically.
+        """
+        solve_fn = self._resolve_solve_fn()
+        solutions: list = [None] * len(scenario_set)
+        chunks: list[ChunkRecord] = []
+        worker_devices: dict[int, list[dict]] = {w: [] for w in range(workers)}
+        clocks = [0.0] * workers
+        dark = [False] * workers
+
+        while not all(dark):
+            worker = min((w for w in range(workers) if not dark[w]),
+                         key=lambda w: (clocks[w], w))
+            assignment = scheduler.next_chunk(worker)
+            if assignment is None:
+                dark[worker] = True
+                continue
+            indices, origin, stolen = assignment
+            task = self._make_task(scenario_set, params, time_limit, indices, worker)
+            try:
+                result = solve_fn(task)
+            except Exception as exc:  # surface the failing scenario, raise
+                raise self._chunk_error(scenario_set, worker, indices,
+                                        repr(exc)) from exc
+            for index, solution in zip(result.indices, result.solutions):
+                solutions[index] = solution
+            worker_devices[worker].append(result.device)
+            chunks.append(ChunkRecord(worker=worker, indices=indices,
+                                      origin=origin, stolen=stolen,
+                                      seconds=result.seconds))
+            clocks[worker] += result.seconds
+        return solutions, chunks, worker_devices
+
+    # ------------------------------------------------------------------ #
+    def _run_processes(self, scenario_set: ScenarioSet, params,
+                       time_limit: float | None, scheduler: _StealScheduler,
+                       workers: int):
+        """Multiprocessing executor: one worker process per device.
+
+        The parent is the scheduler: it dispatches chunks over per-worker
+        task queues and collects :class:`ShardResult`s (or error reports)
+        from a shared result queue, re-dispatching — own shard first, then
+        stealing — as each worker reports back.  A worker that dies without
+        reporting is detected by liveness polling, so a mid-shard crash
+        surfaces as :class:`PoolExecutionError` instead of a hang.
+        """
+        import multiprocessing as mp
+
+        solve_fn = self._resolve_solve_fn()
+        method = self.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        context = mp.get_context(method)
+
+        task_queues = [context.Queue() for _ in range(workers)]
+        result_queue = context.Queue()
+        processes = [
+            context.Process(target=_pool_worker, name=f"device-pool-{w}",
+                            args=(w, solve_fn, task_queues[w], result_queue),
+                            daemon=True)
+            for w in range(workers)]
+        for process in processes:
+            process.start()
+
+        solutions: list = [None] * len(scenario_set)
+        chunks: list[ChunkRecord] = []
+        worker_devices: dict[int, list[dict]] = {w: [] for w in range(workers)}
+        outstanding: dict[int, tuple[tuple[int, ...], int, bool]] = {}
+        shutdown_sent = [False] * workers
+        failure: PoolExecutionError | None = None
+
+        def dispatch(worker: int) -> None:
+            if shutdown_sent[worker]:
+                return
+            assignment = None if failure is not None else scheduler.next_chunk(worker)
+            if assignment is None:
+                task_queues[worker].put(None)
+                shutdown_sent[worker] = True
+                return
+            indices, origin, stolen = assignment
+            outstanding[worker] = (indices, origin, stolen)
+            task_queues[worker].put(
+                self._make_task(scenario_set, params, time_limit, indices, worker))
+
+        try:
+            for worker in range(workers):
+                dispatch(worker)
+            while outstanding:
+                try:
+                    worker, kind, payload = result_queue.get(timeout=0.5)
+                except queue_module.Empty:
+                    for worker, (indices, _, _) in list(outstanding.items()):
+                        if not processes[worker].is_alive():
+                            outstanding.pop(worker)
+                            shutdown_sent[worker] = True
+                            error = self._chunk_error(
+                                scenario_set, worker, indices,
+                                "worker process died without reporting a result "
+                                f"(exit code {processes[worker].exitcode})")
+                            failure = failure or error
+                    continue
+                assignment = outstanding.pop(worker, None)
+                if assignment is None:
+                    # late-arriving result from a worker already declared
+                    # dead by the liveness poll; its chunk was recorded as
+                    # failed, so just drop the buffered payload
+                    continue
+                indices, origin, stolen = assignment
+                if kind == "ok":
+                    for index, solution in zip(payload.indices, payload.solutions):
+                        solutions[index] = solution
+                    worker_devices[worker].append(payload.device)
+                    chunks.append(ChunkRecord(worker=worker, indices=indices,
+                                              origin=origin, stolen=stolen,
+                                              seconds=payload.seconds))
+                else:
+                    failure = failure or self._chunk_error(
+                        scenario_set, worker, indices, str(payload))
+                dispatch(worker)
+        finally:
+            for worker in range(workers):
+                if not shutdown_sent[worker]:
+                    task_queues[worker].put(None)
+                    shutdown_sent[worker] = True
+            for process in processes:
+                process.join(timeout=30.0)
+                if process.is_alive():  # last resort; never expected
+                    process.terminate()
+                    process.join(timeout=5.0)
+            for task_queue in task_queues:
+                task_queue.close()
+            result_queue.close()
+
+        if failure is not None:
+            raise failure
+        return solutions, chunks, worker_devices
+
+
+def _pool_worker(worker_id: int, solve_fn: Callable, task_queue,
+                 result_queue) -> None:
+    """Worker-process loop: solve dispatched shards until told to stop."""
+    import traceback
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        try:
+            result_queue.put((worker_id, "ok", solve_fn(task)))
+        except Exception:
+            result_queue.put((worker_id, "error", traceback.format_exc()))
+
+
+def solve_acopf_admm_pool(scenarios, params=None, n_workers: int | None = None,
+                          time_limit: float | None = None,
+                          **pool_options) -> PoolReport:
+    """One-shot pooled solve (module-level convenience wrapper)."""
+    pool = DevicePool(n_workers=n_workers, **pool_options)
+    return pool.solve(scenarios, params=params, time_limit=time_limit)

@@ -14,14 +14,22 @@ from repro.scenarios.generators import (
     monte_carlo_load_scenarios,
     penalty_sweep_scenarios,
 )
-from repro.scenarios.layout import ScenarioLayout, segments_from_offsets
-from repro.scenarios.scenario import Scenario, ScenarioSet, as_scenario_set
+from repro.scenarios.layout import (
+    DEFAULT_COST_WEIGHTS,
+    ScenarioLayout,
+    partition_costs,
+    segments_from_offsets,
+)
+from repro.scenarios.scenario import Scenario, ScenarioSet, as_scenario_set, scenario_cost
 
 __all__ = [
+    "DEFAULT_COST_WEIGHTS",
     "Scenario",
     "ScenarioSet",
     "ScenarioLayout",
     "as_scenario_set",
+    "partition_costs",
+    "scenario_cost",
     "segments_from_offsets",
     "contingency_scenarios",
     "load_scaling_scenarios",

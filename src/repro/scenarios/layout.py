@@ -26,6 +26,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Component axes a layout keeps segment information for.
 AXES = ("gen", "branch", "bus")
 
+#: Per-axis weights of the cost model behind cost-aware scenario placement.
+#: A scenario's estimated element count mirrors the coupling arithmetic of
+#: the batch solver (2 coupling constraints per generator, 8 per branch) plus
+#: one bus-update element per bus; branch weight dominates because the
+#: batched TRON branch solve dominates kernel time.
+DEFAULT_COST_WEIGHTS = {"gen": 2.0, "branch": 8.0, "bus": 1.0}
+
+
+def partition_costs(costs: Sequence[float], n_parts: int) -> list[list[int]]:
+    """Split item ids ``0..len(costs)-1`` into ``n_parts`` balanced parts.
+
+    Greedy LPT (longest processing time first): items are visited in order of
+    decreasing cost (stable, so equal-cost items keep their input order) and
+    each goes to the currently lightest part.  Every part's ids are returned
+    sorted ascending, so re-merging per-part results in id order is stable.
+    Parts may be empty when ``n_parts`` exceeds the item count.
+    """
+    values = np.asarray(list(costs), dtype=float)
+    n_parts = max(1, int(n_parts))
+    parts: list[list[int]] = [[] for _ in range(n_parts)]
+    loads = np.zeros(n_parts)
+    for item in np.argsort(-values, kind="stable"):
+        lightest = int(np.argmin(loads))
+        parts[lightest].append(int(item))
+        loads[lightest] += values[item]
+    return [sorted(part) for part in parts]
+
 
 @dataclass(frozen=True)
 class ScenarioLayout:
@@ -125,6 +152,36 @@ class ScenarioLayout:
             networks=(tuple(self.networks[s] for s in keep)
                       if self.networks else ()),
         )
+
+    # ------------------------------------------------------------------ #
+    # Multi-device sharding                                                #
+    # ------------------------------------------------------------------ #
+    def scenario_costs(self, weights: dict[str, float] | None = None) -> np.ndarray:
+        """Estimated element count of every scenario (placement cost model).
+
+        The default weights mirror the batch solver's coupling arithmetic
+        (:data:`DEFAULT_COST_WEIGHTS`); pass ``weights`` keyed by axis name
+        to override, or an empty-ish dict entry to drop an axis.
+        """
+        weights = DEFAULT_COST_WEIGHTS if weights is None else weights
+        costs = np.zeros(self.n_scenarios)
+        for axis in AXES:
+            weight = float(weights.get(axis, 0.0))
+            if weight:
+                costs += weight * self.counts(axis)
+        return costs
+
+    def partition(self, n_parts: int,
+                  weights: dict[str, float] | None = None) -> list[list[int]]:
+        """Cost-balanced scenario partition for multi-device sharding.
+
+        Returns ``n_parts`` lists of scenario ids (some possibly empty when
+        there are fewer scenarios than parts), balanced by estimated element
+        count — not scenario count — so a shard of one huge network weighs as
+        much as a shard of many small ones.  Each part's ids are ascending,
+        which keeps per-part results stably re-mergeable into batch order.
+        """
+        return partition_costs(self.scenario_costs(weights), n_parts)
 
     # ------------------------------------------------------------------ #
     @classmethod

@@ -15,6 +15,23 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.grid.network import Network
+from repro.scenarios.layout import DEFAULT_COST_WEIGHTS, partition_costs
+
+
+def scenario_cost(network: Network,
+                  weights: dict[str, float] | None = None) -> float:
+    """Estimated element count of one scenario (the placement cost model).
+
+    Uses the same per-axis weights as
+    :meth:`~repro.scenarios.layout.ScenarioLayout.scenario_costs`, computed
+    from the network's active-generator / branch / bus counts, so shards can
+    be cost-balanced before any stacked layout exists.
+    """
+    weights = DEFAULT_COST_WEIGHTS if weights is None else weights
+    counts = {"gen": network.n_gen_active, "branch": network.n_branch,
+              "bus": network.n_bus}
+    return float(sum(float(weights.get(axis, 0.0)) * counts[axis]
+                     for axis in counts))
 
 
 @dataclass(frozen=True)
@@ -80,6 +97,42 @@ class ScenarioSet:
         """A new set with the scenarios of ``other`` appended."""
         extra = tuple(other.scenarios if isinstance(other, ScenarioSet) else other)
         return ScenarioSet(scenarios=self.scenarios + extra, name=self.name)
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "ScenarioSet":
+        """The sub-batch of the scenarios at ``indices`` (in that order)."""
+        indices = [int(i) for i in indices]
+        if not indices:
+            raise ConfigurationError("a scenario subset needs at least one index")
+        return ScenarioSet(
+            scenarios=tuple(self.scenarios[i] for i in indices),
+            name=name if name is not None else f"{self.name}[{len(indices)}]")
+
+    def costs(self, placement: str = "cost",
+              weights: dict[str, float] | None = None) -> list[float]:
+        """Per-scenario placement costs (``"cost"`` model or unit ``"count"``)."""
+        if placement == "count":
+            return [1.0] * len(self)
+        if placement == "cost":
+            return [scenario_cost(s.network, weights) for s in self.scenarios]
+        raise ConfigurationError(
+            f"unknown placement policy {placement!r}; choose 'cost' or 'count'")
+
+    def split(self, n_parts: int, placement: str = "cost",
+              weights: dict[str, float] | None = None,
+              ) -> list[tuple[tuple[int, ...], "ScenarioSet"]]:
+        """Shard the set into up to ``n_parts`` cost-balanced sub-batches.
+
+        Returns ``(indices, subset)`` pairs — ``indices`` are the global
+        scenario positions of the shard, ascending, so per-shard results can
+        be re-merged stably into the original batch order.  Empty parts
+        (when ``n_parts`` exceeds the scenario count) are dropped.
+
+        ``placement="cost"`` balances by estimated element count (see
+        :func:`scenario_cost`); ``"count"`` balances by scenario count.
+        """
+        parts = partition_costs(self.costs(placement, weights), n_parts)
+        return [(tuple(part), self.subset(part, name=f"{self.name}/shard{k}"))
+                for k, part in enumerate(parts) if part]
 
     def describe(self) -> str:
         """One line per scenario (sizes and penalty overrides)."""

@@ -1,0 +1,338 @@
+"""Tests for multi-device scenario sharding (DevicePool) and its APIs.
+
+Covers the partition/split bookkeeping, the stable re-merge of per-scenario
+results, the edge cases the pool must survive (S=1, fewer scenarios than
+workers, heterogeneous element counts, a worker raising mid-shard), the
+process executor, and the resumable shard entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.admm.batch_solver import (
+    BatchAdmmSolver,
+    ShardTask,
+    solve_scenario_shard,
+)
+from repro.exceptions import ConfigurationError
+from repro.parallel import DevicePool, PoolExecutionError, merge_device_dicts
+from repro.parallel.pool import _StealScheduler
+from repro.scenarios import ScenarioSet, partition_costs, scenario_cost
+
+QUICK = repro.AdmmParameters(max_outer=2, max_inner=15)
+
+
+def quick_batch(n: int = 4) -> ScenarioSet:
+    network = repro.load_case("case9")
+    factors = [0.8 + 0.1 * k for k in range(n)]
+    return repro.load_scaling_scenarios(network, factors)
+
+
+def heterogeneous_batch() -> ScenarioSet:
+    """Scenarios of very different sizes (case9 vs pegase30_like)."""
+    small = repro.load_case("case9")
+    large = repro.load_case("pegase30_like")
+    return ScenarioSet.from_networks([small, large, small, large, small],
+                                     names=["s0", "L1", "s2", "L3", "s4"])
+
+
+def assert_solutions_identical(pooled, batched) -> None:
+    assert len(pooled) == len(batched)
+    for a, b in zip(pooled, batched):
+        assert a.network_name == b.network_name
+        assert a.inner_iterations == b.inner_iterations
+        assert a.outer_iterations == b.outer_iterations
+        assert np.array_equal(a.vm, b.vm)
+        assert np.array_equal(a.va, b.va)
+        assert np.array_equal(a.pg, b.pg)
+        assert np.array_equal(a.qg, b.qg)
+
+
+# --------------------------------------------------------------------- #
+# Partition / split                                                      #
+# --------------------------------------------------------------------- #
+class TestPartition:
+    def test_lpt_balances_costs(self):
+        parts = partition_costs([5.0, 4.0, 3.0, 3.0, 2.0, 1.0], 2)
+        loads = [sum([5.0, 4.0, 3.0, 3.0, 2.0, 1.0][i] for i in part)
+                 for part in parts]
+        assert sorted(loads) == [9.0, 9.0]
+
+    def test_parts_are_sorted_and_cover_all_items(self):
+        parts = partition_costs([3.0, 1.0, 4.0, 1.0, 5.0], 3)
+        assert sorted(i for part in parts for i in part) == [0, 1, 2, 3, 4]
+        for part in parts:
+            assert part == sorted(part)
+
+    def test_more_parts_than_items_leaves_empties(self):
+        parts = partition_costs([1.0, 2.0], 4)
+        assert len(parts) == 4
+        assert sum(1 for part in parts if part) == 2
+
+    def test_layout_partition_uses_element_counts(self):
+        scenario_set = heterogeneous_batch()
+        solver = BatchAdmmSolver(scenario_set, params=QUICK)
+        layout = solver.data.scenario_layout
+        costs = layout.scenario_costs()
+        # pegase30_like scenarios must cost more than case9 scenarios.
+        assert costs[1] > costs[0] and costs[3] > costs[2]
+        parts = layout.partition(2)
+        loads = [sum(costs[i] for i in part) for part in parts]
+        # cost-aware split: neither shard carries both large scenarios
+        # alongside a majority of the small ones.
+        assert max(loads) < 0.75 * sum(loads)
+
+    def test_scenario_set_split_stable_remerge(self):
+        scenario_set = heterogeneous_batch()
+        shards = scenario_set.split(2)
+        seen = sorted(i for indices, _ in shards for i in indices)
+        assert seen == list(range(len(scenario_set)))
+        for indices, subset in shards:
+            assert list(indices) == sorted(indices)
+            assert [s.name for s in subset] == [scenario_set[i].name
+                                                for i in indices]
+
+    def test_split_count_policy_balances_counts(self):
+        scenario_set = heterogeneous_batch()
+        shards = scenario_set.split(2, placement="count")
+        sizes = sorted(len(indices) for indices, _ in shards)
+        assert sizes == [2, 3]
+
+    def test_split_drops_empty_parts(self):
+        scenario_set = quick_batch(2)
+        shards = scenario_set.split(5)
+        assert len(shards) == 2
+
+    def test_split_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            quick_batch(2).split(2, placement="alphabetical")
+
+    def test_subset_preserves_order_and_names(self):
+        scenario_set = quick_batch(4)
+        subset = scenario_set.subset([3, 1])
+        assert [s.name for s in subset] == [scenario_set[3].name,
+                                            scenario_set[1].name]
+
+    def test_scenario_cost_scales_with_network_size(self):
+        small = repro.load_case("case9")
+        large = repro.load_case("pegase30_like")
+        assert scenario_cost(large) > scenario_cost(small)
+
+
+# --------------------------------------------------------------------- #
+# Steal scheduler                                                        #
+# --------------------------------------------------------------------- #
+class TestStealScheduler:
+    def test_serves_own_shard_first(self):
+        sched = _StealScheduler([[0, 1], [2, 3]], [1.0] * 4,
+                                chunk_scenarios=1, steal_threshold=1)
+        assert sched.next_chunk(0) == ((0,), 0, False)
+        assert sched.next_chunk(1) == ((2,), 1, False)
+
+    def test_idle_worker_steals_from_most_loaded(self):
+        sched = _StealScheduler([[], [1], [2, 3]], [1.0, 1.0, 5.0, 5.0],
+                                chunk_scenarios=1, steal_threshold=1)
+        indices, origin, stolen = sched.next_chunk(0)
+        assert stolen and origin == 2 and indices == (3,)
+
+    def test_steal_threshold_blocks_small_victims(self):
+        sched = _StealScheduler([[], [1]], [1.0, 1.0],
+                                chunk_scenarios=1, steal_threshold=2)
+        assert sched.next_chunk(0) is None
+        # the owner still drains its own tail
+        assert sched.next_chunk(1) == ((1,), 1, False)
+
+    def test_chunking_takes_runs_of_scenarios(self):
+        sched = _StealScheduler([[0, 1, 2]], [1.0] * 3,
+                                chunk_scenarios=2, steal_threshold=1)
+        assert sched.next_chunk(0) == ((0, 1), 0, False)
+        assert sched.next_chunk(0) == ((2,), 0, False)
+        assert sched.next_chunk(0) is None
+
+
+# --------------------------------------------------------------------- #
+# DevicePool                                                             #
+# --------------------------------------------------------------------- #
+class TestDevicePoolSequential:
+    def test_matches_single_device_batched_solve(self):
+        scenario_set = quick_batch(4)
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK)
+        assert_solutions_identical(report.solutions, reference)
+
+    def test_single_scenario(self):
+        scenario_set = quick_batch(1)
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        report = DevicePool(n_workers=4, executor="sequential").solve(
+            scenario_set, params=QUICK)
+        assert report.n_workers == 1  # never more workers than scenarios
+        assert_solutions_identical(report.solutions, reference)
+
+    def test_fewer_scenarios_than_workers(self):
+        scenario_set = quick_batch(2)
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        report = DevicePool(n_workers=8, executor="sequential").solve(
+            scenario_set, params=QUICK)
+        assert report.n_workers == 2
+        assert_solutions_identical(report.solutions, reference)
+
+    def test_heterogeneous_element_counts(self):
+        scenario_set = heterogeneous_batch()
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK)
+        assert_solutions_identical(report.solutions, reference)
+        assert report.makespan_seconds <= report.total_busy_seconds
+
+    def test_report_accounting(self):
+        scenario_set = quick_batch(4)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK)
+        assert sum(len(c.indices) for c in report.chunks) == 4
+        assert report.total_busy_seconds == pytest.approx(
+            sum(w.busy_seconds for w in report.workers))
+        assert report.makespan_seconds == pytest.approx(
+            max(w.busy_seconds for w in report.workers))
+        assert report.parallel_speedup > 1.0
+        # fleet-wide device metrics cover every scenario's kernels
+        assert report.device["kernels"]["branch_update"]["launches"] > 0
+
+    def test_worker_error_surfaces_scenario_id(self):
+        scenario_set = quick_batch(3)
+        pool = DevicePool(n_workers=2, executor="sequential",
+                          chunk_scenarios=1, solve_fn=_fail_on_x09)
+        with pytest.raises(PoolExecutionError) as excinfo:
+            pool.solve(scenario_set, params=QUICK)
+        assert "case9@x0.9" in str(excinfo.value)
+        assert "case9@x0.9" in excinfo.value.scenario_names
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DevicePool(executor="threads")
+        with pytest.raises(ConfigurationError):
+            DevicePool(placement="random")
+        with pytest.raises(ConfigurationError):
+            DevicePool(n_workers=0)
+        with pytest.raises(ConfigurationError):
+            DevicePool(chunk_scenarios=0)
+
+
+class TestDevicePoolProcess:
+    def test_matches_single_device_batched_solve(self):
+        scenario_set = quick_batch(4)
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        pool = DevicePool(n_workers=2, executor="process", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK)
+        assert_solutions_identical(report.solutions, reference)
+        assert report.device["kernels"]["branch_update"]["launches"] > 0
+
+    def test_worker_error_does_not_hang(self):
+        scenario_set = quick_batch(3)
+        pool = DevicePool(n_workers=2, executor="process",
+                          chunk_scenarios=1, solve_fn=_fail_on_x09)
+        with pytest.raises(PoolExecutionError) as excinfo:
+            pool.solve(scenario_set, params=QUICK)
+        assert "case9@x0.9" in str(excinfo.value)
+
+    def test_worker_death_is_detected(self):
+        scenario_set = quick_batch(2)
+        pool = DevicePool(n_workers=2, executor="process",
+                          chunk_scenarios=1, solve_fn=_die_on_x09)
+        with pytest.raises(PoolExecutionError) as excinfo:
+            pool.solve(scenario_set, params=QUICK)
+        assert "died" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------- #
+# Shard entry point                                                      #
+# --------------------------------------------------------------------- #
+class TestShardEntryPoint:
+    def test_shard_task_validates_lengths(self):
+        scenario_set = quick_batch(2)
+        with pytest.raises(ConfigurationError):
+            ShardTask(indices=(0,), scenarios=scenario_set)
+
+    def test_solve_scenario_shard_round_trip(self):
+        scenario_set = quick_batch(2)
+        task = ShardTask(indices=(5, 7), scenarios=scenario_set, params=QUICK)
+        result = solve_scenario_shard(task)
+        assert result.indices == (5, 7)
+        assert len(result.solutions) == 2
+        assert result.seconds > 0.0
+        assert result.device["kernels"]["branch_update"]["launches"] > 0
+
+    def test_shard_task_is_picklable(self):
+        import pickle
+
+        task = ShardTask(indices=(0, 1), scenarios=quick_batch(2), params=QUICK)
+        clone = pickle.loads(pickle.dumps(task))
+        result = solve_scenario_shard(clone)
+        assert [s.network_name for s in result.solutions] == clone.scenarios.names
+
+    def test_warm_start_resume(self):
+        scenario_set = quick_batch(2)
+        first = BatchAdmmSolver(scenario_set, params=QUICK).solve()
+        states = [s.state for s in first]
+        resumed = BatchAdmmSolver(scenario_set, params=QUICK).solve(
+            warm_start=states)
+        assert len(resumed) == 2
+        # warm-started runs re-enter the loop from the previous iterate, so
+        # they must not reproduce the cold-start trajectory
+        assert any(not np.array_equal(a.vm, b.vm)
+                   for a, b in zip(first, resumed))
+
+    def test_warm_start_length_mismatch(self):
+        scenario_set = quick_batch(2)
+        solver = BatchAdmmSolver(scenario_set, params=QUICK)
+        with pytest.raises(ConfigurationError):
+            solver.solve(warm_start=[None])
+
+
+# --------------------------------------------------------------------- #
+# Device metric merging                                                  #
+# --------------------------------------------------------------------- #
+class TestMergeDeviceDicts:
+    def test_sums_counters_and_recomputes_ratios(self):
+        snapshots = [
+            {"total_seconds": 1.0,
+             "kernels": {"k": {"launches": 2, "total_seconds": 1.0,
+                               "total_elements": 10,
+                               "total_active_elements": 5}}},
+            {"total_seconds": 3.0,
+             "kernels": {"k": {"launches": 4, "total_seconds": 3.0,
+                               "total_elements": 30,
+                               "total_active_elements": 15}}},
+        ]
+        merged = merge_device_dicts(snapshots, name="fleet")
+        assert merged["device"] == "fleet"
+        assert merged["total_seconds"] == pytest.approx(4.0)
+        kernel = merged["kernels"]["k"]
+        assert kernel["launches"] == 6
+        assert kernel["total_elements"] == 40
+        assert kernel["occupancy"] == pytest.approx(0.5)
+        assert kernel["elements_per_second"] == pytest.approx(10.0)
+
+    def test_empty_iterable(self):
+        merged = merge_device_dicts([])
+        assert merged["kernels"] == {} and merged["total_seconds"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Failure-injection helpers (module level so they pickle across fork)    #
+# --------------------------------------------------------------------- #
+def _fail_on_x09(task):
+    if any(s.name.endswith("x0.9") for s in task.scenarios):
+        raise RuntimeError("injected shard failure")
+    return solve_scenario_shard(task)
+
+
+def _die_on_x09(task):
+    if any(s.name.endswith("x0.9") for s in task.scenarios):
+        import os
+
+        os._exit(17)  # simulate a hard worker crash (segfault analogue)
+    return solve_scenario_shard(task)
