@@ -21,8 +21,10 @@ Updating a baseline (see EXPERIMENTS.md for the full workflow)::
     REPRO_BENCH_SMOKE=1 PYTHONPATH=src python -m pytest \
         benchmarks/test_compaction_throughput.py \
         benchmarks/test_batch_throughput.py \
-        benchmarks/test_pool_throughput.py -q
-    cp BENCH_compaction.json BENCH_batch.json BENCH_pool.json benchmarks/baselines/
+        benchmarks/test_pool_throughput.py \
+        benchmarks/test_tracking_throughput.py -q
+    cp BENCH_compaction.json BENCH_batch.json BENCH_pool.json \
+        BENCH_tracking.json benchmarks/baselines/
 
 then bless the gated value in each copied file: move the measured
 ``speedup`` into ``speedup_measured`` and set ``speedup`` slightly below
@@ -45,12 +47,17 @@ GATED_METRICS: dict[str, tuple[str, float | None]] = {
     "BENCH_compaction.json": ("speedup", None),
     "BENCH_batch.json": ("speedup", None),
     "BENCH_pool.json": ("speedup", None),
+    # warm-start tracking: cold/warm total-ADMM-iteration ratio — iteration
+    # counts are deterministic, so this gate is noise-free by construction
+    "BENCH_tracking.json": ("iteration_speedup", None),
 }
 
 
 def extract(payload: dict, dotted: str):
     value = payload
     for key in dotted.split("."):
+        if not isinstance(value, dict) or key not in value:
+            raise KeyError(dotted)
         value = value[key]
     return float(value)
 
@@ -69,8 +76,14 @@ def check_file(name: str, results_dir: Path, baseline_dir: Path,
         message = f"{name}: baseline exists but no fresh artifact was produced"
         return (not require_all), ("FAIL " if require_all else "SKIP ") + message
 
-    baseline = json.loads(baseline_path.read_text())
-    fresh = json.loads(fresh_path.read_text())
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # a truncated / corrupt artifact must fail loudly, not crash the gate
+        return False, f"FAIL {name}: malformed JSON ({exc})"
+    if not isinstance(baseline, dict) or not isinstance(fresh, dict):
+        return False, f"FAIL {name}: artifact is not a JSON object"
     if bool(baseline.get("smoke_mode")) != bool(fresh.get("smoke_mode")):
         return True, (f"SKIP {name}: smoke_mode mismatch "
                       f"(baseline={baseline.get('smoke_mode')}, "
@@ -82,8 +95,15 @@ def check_file(name: str, results_dir: Path, baseline_dir: Path,
                       f"(baseline={baseline.get('worker_count')}, "
                       f"fresh={fresh.get('worker_count')}) — not comparable")
 
-    baseline_value = extract(baseline, metric)
-    fresh_value = extract(fresh, metric)
+    try:
+        baseline_value = extract(baseline, metric)
+        fresh_value = extract(fresh, metric)
+    except KeyError:
+        # a renamed / missing gated key is a harness bug, not a skip: it
+        # would otherwise silently disarm the gate
+        return False, f"FAIL {name}: gated metric {metric!r} missing from artifact"
+    except (TypeError, ValueError):
+        return False, f"FAIL {name}: gated metric {metric!r} is not numeric"
     floor = baseline_value * (1.0 - tolerance)
     detail = (f"{name}: {metric} fresh={fresh_value:.3f} "
               f"baseline={baseline_value:.3f} "

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Batched rolling-horizon tracking: a whole fleet per period, warm-started.
+
+The paper tracks a drifting load profile by warm-starting each period from
+the previous solution — one grid at a time.  This example runs the batched
+pipeline instead: a small fleet (nominal case, a load-stressed variant, and
+an N-1 outage) follows the same profile, every period solved as one
+scenario batch, with a ``WarmStartCache`` carrying each scenario's state —
+and its pool-worker affinity — across periods.
+
+Three runs are compared:
+
+1. warm-started, single device (one stacked stream per period; between
+   periods only the stacked load/bound arrays are updated in place),
+2. the cold-start ablation (same ramp coupling, no state reuse),
+3. warm-started across a 2-worker ``DevicePool`` with shard affinity —
+   per-period results are bit-for-bit those of run 1; only *where* each
+   scenario runs changes.
+
+Run with::
+
+    python examples/tracking_pipeline.py [case-name] [n-periods]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.analysis.experiments import render_tracking_table, tracking_rows
+from repro.parallel import DevicePool
+
+
+def build_fleet(case: str) -> repro.ScenarioSet:
+    network = repro.load_case(case)
+    nominal = repro.Scenario(name=f"{case}@nominal", network=network)
+    stressed = repro.Scenario(
+        name=f"{case}@x1.05",
+        network=network.with_scaled_loads(1.05, name=f"{case}@x1.05"))
+    outage = repro.contingency_scenarios(network).scenarios[0]
+    return repro.ScenarioSet(scenarios=(nominal, stressed, outage),
+                             name=f"{case}-tracking-fleet")
+
+
+def main() -> int:
+    case = sys.argv[1] if len(sys.argv) > 1 else "case9"
+    n_periods = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    network = repro.load_case(case)
+    fleet = build_fleet(case)
+    profile = repro.make_load_profile(n_periods=n_periods, seed=0)
+    params = repro.parameters_for_case(network, outer_tol=1e-2,
+                                       inner_tol_primal=1e-3,
+                                       inner_tol_dual=1e-2)
+    print(fleet.describe())
+    print(f"profile: {n_periods} periods, multipliers "
+          f"{profile.multipliers.min():.3f}..{profile.multipliers.max():.3f}\n")
+
+    warm = repro.track_horizon_batch(fleet, profile, params=params,
+                                     warm_start=True)
+    cold = repro.track_horizon_batch(fleet, profile, params=params,
+                                     warm_start=False)
+
+    print(render_tracking_table(
+        tracking_rows(warm, cold),
+        title=f"warm start vs cold ablation ({len(fleet)} scenarios x "
+              f"{n_periods} periods)"))
+    print()
+
+    pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+    pooled = repro.track_horizon_batch(fleet, profile, params=params,
+                                       warm_start=True, pool=pool)
+    identical = all(
+        np.array_equal(a.pg, b.pg) and a.inner_iterations == b.inner_iterations
+        for wp, pp in zip(warm.periods, pooled.periods)
+        for a, b in zip(wp.solutions, pp.solutions))
+    placements = [period.workers for period in pooled.periods]
+    print(f"2-worker pooled warm run: makespan {pooled.total_seconds:.2f}s "
+          f"(single device {warm.total_seconds:.2f}s), "
+          f"{pooled.n_steals} steals")
+    print(f"scenario placement per period: {placements}")
+    print(f"pooled results identical to single device: {identical}")
+
+    series = warm.scenario_result(fleet.names[2])
+    print(f"\nper-scenario series ({fleet.names[2]}): objectives "
+          f"{np.array2string(series.objectives, precision=1)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

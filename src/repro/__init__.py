@@ -42,9 +42,16 @@ from repro.scenarios import (
     load_scaling_scenarios,
     monte_carlo_load_scenarios,
     penalty_sweep_scenarios,
+    period_scenario_sets,
+    tracking_fleet,
 )
 from repro.parallel import DevicePool, PoolReport, solve_acopf_admm_pool
-from repro.tracking import make_load_profile, track_horizon
+from repro.tracking import (
+    WarmStartCache,
+    make_load_profile,
+    track_horizon,
+    track_horizon_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -81,6 +88,10 @@ __all__ = [
     "dc_power_flow",
     "solve_power_flow",
     "make_load_profile",
+    "period_scenario_sets",
+    "tracking_fleet",
     "track_horizon",
+    "track_horizon_batch",
+    "WarmStartCache",
     "__version__",
 ]

@@ -95,6 +95,50 @@ class BatchAdmmSolver:
         self.last_state: AdmmState | None = None
 
     # ------------------------------------------------------------------ #
+    def update_scenario_data(self, *, bus_pd: np.ndarray | None = None,
+                             bus_qd: np.ndarray | None = None,
+                             gen_pmin: np.ndarray | None = None,
+                             gen_pmax: np.ndarray | None = None,
+                             networks: Sequence | None = None) -> None:
+        """Swap per-period loads / generator bounds on the stacked arrays.
+
+        The rolling-horizon tracking pipeline re-solves the same fleet every
+        period with nothing changed but bus loads (the demand profile) and
+        generator dispatch windows (ramp limits around the previous period's
+        set points).  Rebuilding :class:`ComponentData` from scratch would
+        recompute branch quantities and re-concatenate every component axis;
+        this hook overwrites just the affected stacked arrays in place, so
+        the next :meth:`solve` runs on data bitwise identical to a fresh
+        :meth:`ComponentData.from_scenarios` stack of the updated networks.
+
+        Each array must cover the full stacked axis (``n_bus`` for loads,
+        ``n_gen`` — active generators only, scenario-major — for bounds), in
+        per unit.  ``networks`` optionally supplies the per-scenario
+        effective networks (e.g. :meth:`Network.with_array_overrides` views)
+        so extracted solutions evaluate their constraint-violation metrics
+        against the period's grid rather than the construction-time one.
+        """
+        data = self.data
+        for attr, value in (("bus_pd", bus_pd), ("bus_qd", bus_qd),
+                            ("gen_pmin", gen_pmin), ("gen_pmax", gen_pmax)):
+            if value is None:
+                continue
+            value = np.asarray(value, dtype=float)
+            current = getattr(data, attr)
+            if value.shape != current.shape:
+                raise ConfigurationError(
+                    f"{attr} update has shape {value.shape}, "
+                    f"expected the stacked {current.shape}")
+            setattr(data, attr, value.copy())
+        if networks is not None:
+            layout = data.scenario_layout
+            if len(networks) != layout.n_scenarios:
+                raise ConfigurationError(
+                    f"{len(networks)} networks for {layout.n_scenarios} "
+                    "scenarios")
+            data.layout = replace(layout, networks=tuple(networks))
+
+    # ------------------------------------------------------------------ #
     def solve(self, time_limit: float | None = None,
               warm_start: Sequence[AdmmState | None] | None = None,
               ) -> list[AdmmSolution]:

@@ -26,9 +26,10 @@ from repro.baseline.interior_point import InteriorPointOptions
 from repro.baseline.solver import solve_acopf_ipm
 from repro.exceptions import ConfigurationError
 from repro.grid.cases import load_case
-from repro.scenarios import ScenarioSet
-from repro.tracking.horizon import relative_gaps, track_horizon
+from repro.scenarios import ScenarioSet, tracking_fleet
+from repro.tracking.horizon import relative_gap_series, relative_gaps, track_horizon
 from repro.tracking.load_profile import make_load_profile
+from repro.tracking.pipeline import BatchHorizonResult, track_horizon_batch
 
 #: Cases used by default for the scaled-down reproduction runs.  They are the
 #: synthetic analogues of the paper's Table I systems at a size a pure-Python
@@ -249,23 +250,145 @@ def render_figure3(experiment: TrackingExperiment) -> str:
 
 
 # --------------------------------------------------------------------- #
+# Batched tracking (Figures 1–3 over a whole fleet)                       #
+# --------------------------------------------------------------------- #
+@dataclass
+class TrackingTableRow:
+    """One period of the batched warm-vs-cold tracking comparison."""
+
+    period: int
+    warm_cumulative_seconds: float
+    cold_cumulative_seconds: float
+    warm_iterations: int
+    cold_iterations: int
+    max_violation: float
+    max_gap: float               # worst per-scenario warm-vs-cold objective gap
+
+
+def tracking_table(case: str = "case9", n_scenarios: int = 4,
+                   n_periods: int = DEFAULT_PERIODS, fleet: str = "load",
+                   pool_workers: int | None = None,
+                   pool_executor: str = "sequential",
+                   admm_params: AdmmParameters | None = None,
+                   seed: int = 0,
+                   time_limit_per_period: float | None = None,
+                   ) -> list[TrackingTableRow]:
+    """Figures 1–3 over a whole scenario fleet: warm vs. cold, batched.
+
+    Runs the rolling-horizon pipeline twice over the same fleet and profile
+    — warm-started (the paper's tracking mode) and the cold-start ablation —
+    and reports the per-period series the figures are built from, fleet-wide:
+    cumulative solve seconds (Figure 1; the pool **makespan** when
+    ``pool_workers`` shards the periods across a
+    :class:`~repro.parallel.pool.DevicePool`), total inner iterations, the
+    worst per-scenario constraint violation of the warm run (Figure 2), and
+    the worst per-scenario warm-vs-cold objective gap (Figure 3's gap with
+    the cold converged solutions as the reference).
+
+    ``fleet`` picks the scenario family (see
+    :func:`~repro.scenarios.tracking_fleet`): ``"load"``, ``"n-1"``, or
+    ``"monte-carlo"``.
+
+    ``pool_executor`` defaults to ``"sequential"`` here (unlike the one-shot
+    :func:`table2` pool): :meth:`DevicePool.solve` spins its workers up per
+    call, and the tracking loop calls it once per period per run — the
+    process executor would pay that spawn cost ``2 * n_periods`` times for
+    identical (bitwise-asserted) results.  Pass ``"process"`` to exercise
+    real process isolation anyway.
+    """
+    from repro.parallel.pool import DevicePool
+
+    network = load_case(case)
+    base = tracking_fleet(network, kind=fleet, n_scenarios=n_scenarios,
+                          seed=seed)
+    profile = make_load_profile(n_periods=n_periods, seed=seed)
+    params = admm_params if admm_params is not None else parameters_for_case(network)
+    pool = (DevicePool(n_workers=pool_workers, executor=pool_executor)
+            if pool_workers is not None else None)
+
+    warm = track_horizon_batch(base, profile, params=params, warm_start=True,
+                               pool=pool,
+                               time_limit_per_period=time_limit_per_period)
+    cold = track_horizon_batch(base, profile, params=params, warm_start=False,
+                               pool=pool,
+                               time_limit_per_period=time_limit_per_period)
+
+    return tracking_rows(warm, cold)
+
+
+def tracking_rows(warm: BatchHorizonResult,
+                  cold: BatchHorizonResult) -> list[TrackingTableRow]:
+    """Per-period comparison rows from an already-run warm/cold pair.
+
+    The single source of the warm-vs-cold series: :func:`tracking_table`,
+    the tracking benchmark, and ``examples/tracking_pipeline.py`` all build
+    their tables from these rows (via :func:`render_tracking_table`).
+    """
+    warm_cumulative = warm.cumulative_seconds
+    cold_cumulative = cold.cumulative_seconds
+    rows = []
+    for t in range(warm.n_periods):
+        gaps = relative_gap_series(warm.periods[t].objectives,
+                                   cold.periods[t].objectives)
+        rows.append(TrackingTableRow(
+            period=t,
+            warm_cumulative_seconds=float(warm_cumulative[t]),
+            cold_cumulative_seconds=float(cold_cumulative[t]),
+            warm_iterations=int(warm.periods[t].iterations.sum()),
+            cold_iterations=int(cold.periods[t].iterations.sum()),
+            max_violation=float(warm.periods[t].violations.max()),
+            max_gap=float(gaps.max())))
+    return rows
+
+
+def render_tracking_table(rows: Sequence[TrackingTableRow],
+                          title: str | None = None) -> str:
+    total_warm = sum(r.warm_iterations for r in rows)
+    total_cold = sum(r.cold_iterations for r in rows)
+    table = render_table(
+        ["period", "warm cum (s)", "cold cum (s)", "warm iters", "cold iters",
+         "||c(x)||inf", "gap |f-f_cold|/f_cold"],
+        [[r.period, r.warm_cumulative_seconds, r.cold_cumulative_seconds,
+          r.warm_iterations, r.cold_iterations, r.max_violation, r.max_gap]
+         for r in rows],
+        title=title or "Batched tracking: warm start vs. cold-start ablation")
+    ratio = total_cold / total_warm if total_warm else float("nan")
+    return (f"{table}\n\ntotal inner iterations: warm={total_warm} "
+            f"cold={total_cold} ({ratio:.2f}x fewer warm)")
+
+
+# --------------------------------------------------------------------- #
 # CLI                                                                    #
 # --------------------------------------------------------------------- #
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiment",
-                        choices=["table1", "table2", "fig1", "fig2", "fig3"])
+                        choices=["table1", "table2", "tracking",
+                                 "fig1", "fig2", "fig3"])
     parser.add_argument("--cases", nargs="+", default=list(DEFAULT_CASES))
     parser.add_argument("--periods", type=int, default=DEFAULT_PERIODS)
     parser.add_argument("--workers", type=int, default=None,
-                        help="shard table2 across a DevicePool of this many "
-                             "simulated devices (default: one shared stream)")
+                        help="shard table2 / tracking across a DevicePool of "
+                             "this many simulated devices (default: one "
+                             "shared stream)")
+    parser.add_argument("--scenarios", type=int, default=4,
+                        help="fleet size of the batched tracking experiment")
+    parser.add_argument("--fleet", choices=["load", "n-1", "monte-carlo"],
+                        default="load",
+                        help="scenario family of the batched tracking fleet")
     args = parser.parse_args(argv)
 
     if args.experiment == "table1":
         print(render_table1(args.cases))
     elif args.experiment == "table2":
         print(render_table2(table2(args.cases, pool_workers=args.workers)))
+    elif args.experiment == "tracking":
+        rows = tracking_table(args.cases[0], n_scenarios=args.scenarios,
+                              n_periods=args.periods, fleet=args.fleet,
+                              pool_workers=args.workers)
+        print(render_tracking_table(
+            rows, title=f"Batched tracking ({args.cases[0]}, "
+                        f"{args.scenarios} scenarios x {args.periods} periods)"))
     else:
         experiment = tracking_experiment(args.cases[0], n_periods=args.periods)
         renderer = {"fig1": render_figure1, "fig2": render_figure2,

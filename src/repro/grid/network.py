@@ -20,6 +20,7 @@ These are exactly MATPOWER's ``Yff``, ``Yft``, ``Ytf``, ``Ytt``.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -257,6 +258,45 @@ class Network:
         return Network(name=name or self.name, base_mva=self.base_mva,
                        buses=new_buses, branches=list(self.branches),
                        generators=list(self.generators), costs=list(self.costs))
+
+    def with_array_overrides(self, *, bus_pd: np.ndarray | None = None,
+                             bus_qd: np.ndarray | None = None,
+                             gen_pmin: np.ndarray | None = None,
+                             gen_pmax: np.ndarray | None = None,
+                             name: str | None = None) -> "Network":
+        """A shallow solver-facing view with some per-unit arrays replaced.
+
+        Unlike :meth:`with_scaled_loads` (which rebuilds component records
+        and re-derives every array), the view shares all component lists and
+        derived arrays with the original except the overridden ones — an
+        O(1) operation the multi-period tracking pipeline uses to step loads
+        and generator dispatch windows between periods without per-network
+        rebuilds.  Overrides are **per unit** and must match the existing
+        array shapes.
+
+        The component records (``buses``, ``generators``) keep their
+        original values: the view is for consumers of the array attributes
+        (the ADMM and baseline solvers, power flow, metric evaluation), not
+        for re-editing components — methods that rebuild from records
+        (``with_scaled_loads``, ``with_branch_outage``) would silently drop
+        the overrides, so derive further views from the original network.
+        """
+        overrides = {"bus_pd": bus_pd, "bus_qd": bus_qd,
+                     "gen_pmin": gen_pmin, "gen_pmax": gen_pmax}
+        view = copy.copy(self)
+        for attr, value in overrides.items():
+            if value is None:
+                continue
+            value = np.asarray(value, dtype=float)
+            current = getattr(self, attr)
+            if value.shape != current.shape:
+                raise DataError(
+                    f"{attr} override has shape {value.shape}, "
+                    f"expected {current.shape}")
+            setattr(view, attr, value)
+        if name is not None:
+            view.name = name
+        return view
 
     def with_branch_outage(self, branch_index: int, name: str | None = None) -> "Network":
         """Return a copy with one in-service branch switched out (N-1).

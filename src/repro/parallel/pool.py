@@ -130,6 +130,17 @@ class PoolReport:
         return sum(1 for chunk in self.chunks if chunk.stolen)
 
     @property
+    def scenario_workers(self) -> dict[int, int]:
+        """Which worker solved each scenario (global index → worker id).
+
+        This is the *observed* placement — the input of the next period's
+        shard affinity in warm-started tracking: a scenario that was stolen
+        reports its thief, so its warm state follows it on the next solve.
+        """
+        return {index: chunk.worker
+                for chunk in self.chunks for index in chunk.indices}
+
+    @property
     def parallel_speedup(self) -> float:
         """Serial-equivalent work over makespan — the scheduling speedup."""
         if self.makespan_seconds <= 0.0:
@@ -256,19 +267,48 @@ class DevicePool:
         self._solve_fn = solve_fn
 
     # ------------------------------------------------------------------ #
-    def solve(self, scenarios, params=None,
-              time_limit: float | None = None) -> PoolReport:
+    def solve(self, scenarios, params=None, time_limit: float | None = None,
+              warm_states=None, affinity=None) -> PoolReport:
         """Solve the batch across the pool; results in batch order.
 
         ``time_limit`` is a *per-scenario* budget: each dispatched chunk
         receives ``time_limit * len(chunk)`` as its aggregate shard budget
         (the pool analogue of the batched solver's aggregate limit).
+
+        ``warm_states`` optionally supplies one per-scenario
+        :class:`~repro.admm.state.AdmmState` (or ``None`` for a cold start
+        of that scenario), in global batch order; each dispatched chunk
+        ships its scenarios' states inside the
+        :class:`~repro.admm.batch_solver.ShardTask`, so warm starts survive
+        process boundaries — and travel with a *stolen* scenario to the
+        thief.
+
+        ``affinity`` switches the initial partition to **persistent
+        placement**: a sequence (or ``{index: worker}`` mapping) of
+        preferred workers, one per scenario, ``None`` meaning "no
+        preference".  A preferred scenario goes to its worker (ids wrap
+        modulo the pool width, so affinities recorded on a wider pool stay
+        usable); unpreferred scenarios fill up the lightest shards by cost.
+        This is what keeps a warm-started tracking scenario on the worker
+        already holding its state; work stealing still rebalances — the
+        state simply ships with the stolen chunk.
         """
         scenario_set = as_scenario_set(scenarios)
         n_scenarios = len(scenario_set)
         workers = max(1, min(self.n_workers, n_scenarios))
         costs = scenario_set.costs(self.placement)
-        shards = partition_costs(costs, workers)
+        if warm_states is not None:
+            warm_states = list(warm_states)
+            if len(warm_states) != n_scenarios:
+                raise ConfigurationError(
+                    f"warm_states has {len(warm_states)} entries for "
+                    f"{n_scenarios} scenarios")
+        if affinity is not None:
+            shards = self._affinity_partition(affinity, costs, workers)
+            placement = "affinity"
+        else:
+            shards = partition_costs(costs, workers)
+            placement = self.placement
         chunk = self.chunk_scenarios
         if chunk is None:
             chunk = max(1, -(-n_scenarios // (4 * workers)))
@@ -279,10 +319,10 @@ class DevicePool:
         start = time.perf_counter()
         if self.executor == "sequential":
             result = self._run_sequential(scenario_set, params, time_limit,
-                                          scheduler, workers)
+                                          scheduler, workers, warm_states)
         else:
             result = self._run_processes(scenario_set, params, time_limit,
-                                         scheduler, workers)
+                                         scheduler, workers, warm_states)
         solutions, chunks, worker_devices = result
         wall = time.perf_counter() - start
 
@@ -307,7 +347,7 @@ class DevicePool:
             solutions=solutions,
             n_workers=workers,
             executor=self.executor,
-            placement=self.placement,
+            placement=placement,
             wall_seconds=wall,
             makespan_seconds=max(busy) if busy else 0.0,
             total_busy_seconds=sum(busy),
@@ -318,6 +358,43 @@ class DevicePool:
         )
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _affinity_partition(affinity, costs: Sequence[float],
+                            workers: int) -> list[list[int]]:
+        """Persistent-placement partition: preferences first, LPT fill-in.
+
+        ``affinity`` is a per-scenario preferred worker (sequence or
+        ``{index: worker}`` mapping; ``None``/missing = no preference).
+        Preferred scenarios land on their worker (mod the pool width);
+        the rest go greedily to the lightest shard by cost, and every
+        shard's ids stay ascending for the stable re-merge.
+        """
+        n_scenarios = len(costs)
+        if isinstance(affinity, dict):
+            preferred = [affinity.get(s) for s in range(n_scenarios)]
+        else:
+            preferred = list(affinity)
+            if len(preferred) != n_scenarios:
+                raise ConfigurationError(
+                    f"affinity has {len(preferred)} entries for "
+                    f"{n_scenarios} scenarios")
+        shards: list[list[int]] = [[] for _ in range(workers)]
+        loads = [0.0] * workers
+        unplaced = []
+        for s, pref in enumerate(preferred):
+            if pref is None:
+                unplaced.append(s)
+                continue
+            worker = int(pref) % workers
+            shards[worker].append(s)
+            loads[worker] += costs[s]
+        for s in sorted(unplaced, key=lambda s: -costs[s]):
+            lightest = min(range(workers), key=lambda w: (loads[w], w))
+            shards[lightest].append(s)
+            loads[lightest] += costs[s]
+        return [sorted(shard) for shard in shards]
+
+    # ------------------------------------------------------------------ #
     def _resolve_solve_fn(self) -> Callable:
         if self._solve_fn is not None:
             return self._solve_fn
@@ -326,13 +403,15 @@ class DevicePool:
 
     def _make_task(self, scenario_set: ScenarioSet, params,
                    time_limit: float | None, indices: tuple[int, ...],
-                   worker: int):
+                   worker: int, warm_states=None):
         from repro.admm.batch_solver import ShardTask
         return ShardTask(
             indices=indices,
             scenarios=scenario_set.subset(indices),
             params=params,
             time_limit=None if time_limit is None else time_limit * len(indices),
+            warm_states=(None if warm_states is None
+                         else tuple(warm_states[i] for i in indices)),
             device_name=f"worker{worker}")
 
     @staticmethod
@@ -347,7 +426,7 @@ class DevicePool:
     # ------------------------------------------------------------------ #
     def _run_sequential(self, scenario_set: ScenarioSet, params,
                         time_limit: float | None, scheduler: _StealScheduler,
-                        workers: int):
+                        workers: int, warm_states=None):
         """In-process executor: same scheduler, simulated worker clocks.
 
         Chunks run one at a time, so each chunk's measured seconds are
@@ -371,7 +450,8 @@ class DevicePool:
                 dark[worker] = True
                 continue
             indices, origin, stolen = assignment
-            task = self._make_task(scenario_set, params, time_limit, indices, worker)
+            task = self._make_task(scenario_set, params, time_limit, indices,
+                                   worker, warm_states)
             try:
                 result = solve_fn(task)
             except Exception as exc:  # surface the failing scenario, raise
@@ -389,7 +469,7 @@ class DevicePool:
     # ------------------------------------------------------------------ #
     def _run_processes(self, scenario_set: ScenarioSet, params,
                        time_limit: float | None, scheduler: _StealScheduler,
-                       workers: int):
+                       workers: int, warm_states=None):
         """Multiprocessing executor: one worker process per device.
 
         The parent is the scheduler: it dispatches chunks over per-worker
@@ -435,7 +515,8 @@ class DevicePool:
             indices, origin, stolen = assignment
             outstanding[worker] = (indices, origin, stolen)
             task_queues[worker].put(
-                self._make_task(scenario_set, params, time_limit, indices, worker))
+                self._make_task(scenario_set, params, time_limit, indices,
+                                worker, warm_states))
 
         try:
             for worker in range(workers):
@@ -507,8 +588,9 @@ def _pool_worker(worker_id: int, solve_fn: Callable, task_queue,
 
 
 def solve_acopf_admm_pool(scenarios, params=None, n_workers: int | None = None,
-                          time_limit: float | None = None,
-                          **pool_options) -> PoolReport:
+                          time_limit: float | None = None, warm_states=None,
+                          affinity=None, **pool_options) -> PoolReport:
     """One-shot pooled solve (module-level convenience wrapper)."""
     pool = DevicePool(n_workers=n_workers, **pool_options)
-    return pool.solve(scenarios, params=params, time_limit=time_limit)
+    return pool.solve(scenarios, params=params, time_limit=time_limit,
+                      warm_states=warm_states, affinity=affinity)

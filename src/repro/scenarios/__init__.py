@@ -13,6 +13,8 @@ from repro.scenarios.generators import (
     load_scaling_scenarios,
     monte_carlo_load_scenarios,
     penalty_sweep_scenarios,
+    period_scenario_sets,
+    tracking_fleet,
 )
 from repro.scenarios.layout import (
     DEFAULT_COST_WEIGHTS,
@@ -35,4 +37,6 @@ __all__ = [
     "load_scaling_scenarios",
     "monte_carlo_load_scenarios",
     "penalty_sweep_scenarios",
+    "period_scenario_sets",
+    "tracking_fleet",
 ]

@@ -106,6 +106,85 @@ def penalty_sweep_scenarios(network: Network,
 
 
 # --------------------------------------------------------------------- #
+# Period-indexed generation (rolling-horizon tracking)                    #
+# --------------------------------------------------------------------- #
+#: Base-fleet kinds :func:`tracking_fleet` can build.
+TRACKING_FLEET_KINDS = ("load", "n-1", "monte-carlo")
+
+
+def tracking_fleet(network: Network, kind: str = "load", n_scenarios: int = 8,
+                   spread: float = 0.06, sigma: float = 0.05, seed: int = 0,
+                   name: str | None = None) -> ScenarioSet:
+    """A base fleet for the rolling-horizon tracking pipeline.
+
+    ``kind`` selects the scenario family the horizon is tracked over:
+    ``"load"`` — operating points spread ``±spread`` around nominal demand;
+    ``"n-1"`` — the first ``n_scenarios`` non-islanding branch outages (the
+    base case included); ``"monte-carlo"`` — random per-bus demand
+    perturbations with relative spread ``sigma``.  Any hand-built
+    :class:`ScenarioSet` works with the pipeline too — this is just the
+    convenient spelling of the three standard bases.
+    """
+    if n_scenarios < 1:
+        raise ConfigurationError("a tracking fleet needs at least one scenario")
+    if kind == "load":
+        factors = np.linspace(1.0 - spread, 1.0 + spread, n_scenarios)
+        if n_scenarios == 1:
+            factors = np.array([1.0])
+        fleet = load_scaling_scenarios(network, factors)
+    elif kind == "n-1":
+        fleet = contingency_scenarios(network, include_base=True)
+        fleet = ScenarioSet(scenarios=fleet.scenarios[:n_scenarios],
+                            name=fleet.name)
+        if len(fleet) < n_scenarios:
+            raise DataError(
+                f"{network.name} has only {len(fleet)} non-islanding N-1 "
+                f"scenarios (base included); {n_scenarios} requested")
+    elif kind == "monte-carlo":
+        fleet = monte_carlo_load_scenarios(network, n_scenarios, sigma=sigma,
+                                           seed=seed)
+    else:
+        raise ConfigurationError(
+            f"unknown tracking fleet kind {kind!r}; choose from "
+            f"{TRACKING_FLEET_KINDS}")
+    if name is not None:
+        fleet = ScenarioSet(scenarios=fleet.scenarios, name=name)
+    return fleet
+
+
+def period_scenario_sets(base, profile) -> list["ScenarioSet"]:
+    """Expand a base fleet × load profile into one :class:`ScenarioSet` per period.
+
+    Period ``t``'s set holds every base scenario with its loads scaled by
+    the profile's period-``t`` multiplier (``profile`` may also be one
+    :class:`~repro.tracking.load_profile.LoadProfile` per scenario).  This
+    is the straightforward, network-rebuilding expansion — handy for
+    feeding arbitrary period batches to
+    :func:`~repro.admm.batch_solver.solve_acopf_admm_batch`; the tracking
+    pipeline (:func:`~repro.tracking.pipeline.track_horizon_batch`)
+    performs the same expansion vectorised on stacked arrays and adds the
+    ramp coupling, which depends on dispatch and is therefore not a
+    generator's job.
+    """
+    from repro.scenarios.scenario import as_scenario_set
+    from repro.tracking.load_profile import normalize_profiles
+
+    base = as_scenario_set(base)
+    profiles = normalize_profiles(profile, len(base))
+    sets = []
+    for period in range(profiles[0].n_periods):
+        scenarios = tuple(
+            Scenario(name=scenario.name,
+                     network=scenario.network.with_scaled_loads(
+                         profiles[s].multiplier(period)),
+                     rho_pq=scenario.rho_pq, rho_va=scenario.rho_va)
+            for s, scenario in enumerate(base.scenarios))
+        sets.append(ScenarioSet(scenarios=scenarios,
+                                name=f"{base.name}@t{period}"))
+    return sets
+
+
+# --------------------------------------------------------------------- #
 def _connected_without(network: Network, outage: int) -> bool:
     """Whether the bus graph stays connected after removing one branch."""
     keep = np.arange(network.n_branch) != outage

@@ -3,14 +3,25 @@
 * :mod:`repro.tracking.load_profile` — synthetic ISO-New-England-like demand
   profile interpolated to one-minute periods;
 * :mod:`repro.tracking.ramping` — generator ramp-rate limits between periods;
-* :mod:`repro.tracking.horizon` — the driver that solves a horizon of
-  load-perturbed ACOPFs, warm-starting each period from the previous
-  solution, for both the ADMM solver and the centralized baseline.
+* :mod:`repro.tracking.horizon` — the classic driver that solves a horizon of
+  load-perturbed ACOPFs one grid at a time, warm-starting each period from
+  the previous solution, for both the ADMM solver and the centralized
+  baseline;
+* :mod:`repro.tracking.pipeline` — the batched driver: the whole scenario
+  fleet solved per period in one stacked stream (or across a
+  :class:`~repro.parallel.pool.DevicePool` with shard affinity), warm starts
+  threaded through a :class:`~repro.tracking.pipeline.WarmStartCache`.
 """
 
 from repro.tracking.load_profile import LoadProfile, make_load_profile
 from repro.tracking.horizon import HorizonResult, PeriodRecord, track_horizon
-from repro.tracking.ramping import apply_ramp_limits
+from repro.tracking.pipeline import (
+    BatchHorizonResult,
+    BatchPeriodRecord,
+    WarmStartCache,
+    track_horizon_batch,
+)
+from repro.tracking.ramping import apply_ramp_limits, ramp_window
 
 __all__ = [
     "LoadProfile",
@@ -18,5 +29,10 @@ __all__ = [
     "HorizonResult",
     "PeriodRecord",
     "track_horizon",
+    "BatchHorizonResult",
+    "BatchPeriodRecord",
+    "WarmStartCache",
+    "track_horizon_batch",
     "apply_ramp_limits",
+    "ramp_window",
 ]

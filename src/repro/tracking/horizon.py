@@ -72,6 +72,16 @@ class HorizonResult:
         return np.array([p.max_violation for p in self.periods])
 
     @property
+    def iterations(self) -> np.ndarray:
+        """Per-period solver iterations (inner ADMM iterations for ADMM runs)."""
+        return np.array([p.iterations for p in self.periods], dtype=int)
+
+    @property
+    def total_iterations(self) -> int:
+        """Total solver iterations over the horizon (the warm-start metric)."""
+        return int(self.iterations.sum()) if self.periods else 0
+
+    @property
     def total_seconds(self) -> float:
         return float(sum(p.solve_seconds for p in self.periods))
 
@@ -134,13 +144,27 @@ def track_horizon(network: Network, profile: LoadProfile, method: str = "admm",
     return result
 
 
+def relative_gap_series(values: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Elementwise ``|values − reference| / |reference|``, zero-safe.
+
+    Entries whose reference is exactly zero (e.g. a free-generation
+    synthetic case) report the absolute gap instead of dividing by zero —
+    the one fallback policy shared by :func:`relative_gaps`, the batched
+    tracking table, and the tracking benchmark's gap assertion.
+    """
+    values = np.asarray(values, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    denom = np.abs(reference)
+    return np.abs(values - reference) / np.where(denom > 0, denom, 1.0)
+
+
 def relative_gaps(candidate: HorizonResult, reference: HorizonResult) -> np.ndarray:
     """Per-period relative objective gap of ``candidate`` against ``reference``.
 
     This is Figure 3's series: the ADMM run measured against the centralized
-    baseline run over the same horizon.
+    baseline run over the same horizon.  Zero-reference periods degrade to
+    the absolute gap (see :func:`relative_gap_series`).
     """
     if len(candidate.periods) != len(reference.periods):
         raise ConfigurationError("horizon results have different lengths")
-    ref = reference.objectives
-    return np.abs(candidate.objectives - ref) / np.abs(ref)
+    return relative_gap_series(candidate.objectives, reference.objectives)

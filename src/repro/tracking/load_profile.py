@@ -38,6 +38,30 @@ class LoadProfile:
         return float(np.max(np.abs(self.multipliers - base)) / base)
 
 
+def normalize_profiles(profile, n_scenarios: int) -> list[LoadProfile]:
+    """One profile per scenario (a single profile is shared by the fleet).
+
+    The common validation of every fleet × profile expansion: accepts one
+    :class:`LoadProfile` (broadcast to the fleet) or a sequence of exactly
+    ``n_scenarios`` profiles with equal horizon lengths.
+    """
+    if isinstance(profile, LoadProfile):
+        profiles = [profile] * n_scenarios
+    else:
+        profiles = list(profile)
+        if len(profiles) != n_scenarios:
+            raise ConfigurationError(
+                f"{len(profiles)} load profiles for {n_scenarios} scenarios")
+        if not all(isinstance(p, LoadProfile) for p in profiles):
+            raise ConfigurationError(
+                "profile must be a LoadProfile or a sequence of LoadProfile")
+    lengths = {p.n_periods for p in profiles}
+    if len(lengths) != 1:
+        raise ConfigurationError(
+            f"per-scenario profiles have different lengths: {sorted(lengths)}")
+    return profiles
+
+
 def make_load_profile(n_periods: int = 30, total_drift: float = 0.05,
                       fluctuation: float = 0.003, seed: int = 0,
                       minutes_per_hour_sample: int = 60) -> LoadProfile:

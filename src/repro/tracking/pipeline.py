@@ -1,0 +1,457 @@
+"""Batched rolling-horizon tracking on the pooled execution stack.
+
+The classic driver (:func:`repro.tracking.horizon.track_horizon`) follows a
+load profile one period and one grid at a time.  This module runs the same
+experiment the way the rest of the repository executes everything since the
+scenario subsystem landed: **many grids at once** —
+
+* every period solves the whole fleet as one scenario batch
+  (:class:`~repro.admm.batch_solver.BatchAdmmSolver`), or sharded across a
+  :class:`~repro.parallel.pool.DevicePool` of simulated devices;
+* a :class:`WarmStartCache`, keyed by scenario identity, seeds period ``t``
+  from every scenario's period ``t−1`` freeze-time state via the batch
+  solver's ``warm_start=`` hook — and remembers which pool worker held each
+  state, so pooled periods run with **shard affinity** (persistent
+  placement, stealing still allowed: a stolen scenario's state ships with
+  the chunk);
+* load drift and generator ramp windows are applied between periods as
+  vectorised array updates — stacked :class:`~repro.admm.data.ComponentData`
+  loads/bounds are overwritten in place
+  (:meth:`BatchAdmmSolver.update_scenario_data`) and per-scenario metric
+  networks are O(1) :meth:`~repro.grid.network.Network.with_array_overrides`
+  views — no per-network rebuilds and no re-stacking in the hot loop.
+
+Every per-scenario trajectory remains bit-for-bit the one the sequential
+driver produces: the in-place updates replicate
+``with_scaled_loads`` + ``apply_ramp_limits`` + ``ComponentData`` stacking
+bitwise (see :func:`repro.tracking.ramping.ramp_window`), scenarios never
+couple, and the batched warm start scatters exactly the state a standalone
+``AdmmSolver.solve(warm_start=...)`` would copy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.admm.batch_solver import BatchAdmmSolver
+from repro.admm.parameters import AdmmParameters
+from repro.admm.solver import AdmmSolution
+from repro.admm.state import AdmmState
+from repro.exceptions import ConfigurationError
+from repro.logging_utils import get_logger
+from repro.parallel.pool import DevicePool
+from repro.scenarios import Scenario, ScenarioSet, as_scenario_set
+from repro.tracking.horizon import HorizonResult, PeriodRecord
+from repro.tracking.load_profile import normalize_profiles
+from repro.tracking.ramping import DEFAULT_RAMP_FRACTION, ramp_window
+
+LOGGER = get_logger("tracking.pipeline")
+
+
+# --------------------------------------------------------------------- #
+# Warm-start state cache                                                  #
+# --------------------------------------------------------------------- #
+@dataclass
+class WarmRecord:
+    """What the cache keeps per scenario between periods."""
+
+    state: AdmmState            # freeze-time snapshot (the warm seed)
+    pg: np.ndarray              # full-axis per-unit dispatch (the ramp anchor)
+    worker: int | None = None   # pool worker that held the state (affinity)
+    period: int = -1            # period the record was written after
+
+
+class WarmStartCache:
+    """Warm-start state cache keyed by scenario identity.
+
+    Keys are scenario names (any hashable works), so the cache survives
+    fleet recomposition: a scenario added mid-horizon cold-starts, one that
+    disappears simply stops being read, and a cache handed to a later
+    :func:`track_horizon_batch` call resumes the horizon where the previous
+    call stopped — including the ramp coupling, because the cache also
+    carries each scenario's last dispatch.
+
+    Besides the :class:`~repro.admm.state.AdmmState` seed, each record
+    remembers the pool worker that produced it; that is the **shard
+    affinity** the pooled pipeline feeds back into
+    :meth:`DevicePool.solve(affinity=...) <repro.parallel.pool.DevicePool.solve>`
+    so a scenario keeps running on the device already holding its state.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[object, WarmRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key) -> bool:
+        return key in self._records
+
+    def get(self, key) -> WarmRecord | None:
+        return self._records.get(key)
+
+    def store(self, key, state: AdmmState, pg: np.ndarray,
+              worker: int | None = None, period: int = -1) -> None:
+        self._records[key] = WarmRecord(state=state, pg=np.asarray(pg, dtype=float),
+                                        worker=worker, period=period)
+
+    def states(self, keys: Sequence) -> list[AdmmState | None]:
+        """Per-key warm-start states (``None`` where the key is unknown)."""
+        return [record.state if record is not None else None
+                for record in map(self.get, keys)]
+
+    def previous_pg(self, keys: Sequence) -> list[np.ndarray | None]:
+        """Per-key previous dispatches (``None`` where the key is unknown)."""
+        return [record.pg if record is not None else None
+                for record in map(self.get, keys)]
+
+    def affinity(self, keys: Sequence) -> list[int | None]:
+        """Per-key preferred workers (``None`` where unknown / single-device)."""
+        return [record.worker if record is not None else None
+                for record in map(self.get, keys)]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+# --------------------------------------------------------------------- #
+# Results                                                                 #
+# --------------------------------------------------------------------- #
+@dataclass
+class BatchPeriodRecord:
+    """One period of a batched tracking run (all scenarios).
+
+    The retained :class:`~repro.admm.solver.AdmmSolution` objects are
+    *detached* from their solver states (``solution.state is None``): the
+    :class:`WarmStartCache` is the single owner of the live per-scenario
+    states, so a long horizon does not accumulate full solver state per
+    scenario-period.  To resume a horizon, pass the cache — not a stored
+    solution — to the next :func:`track_horizon_batch` call.
+    """
+
+    period: int
+    multipliers: np.ndarray
+    solutions: list[AdmmSolution]
+    solve_seconds: float        # stream wall-clock / pool makespan (see result)
+    wall_seconds: float         # observed host wall-clock of the period
+    workers: list[int | None]   # worker that solved each scenario (pool mode)
+    steals: int = 0
+
+    @property
+    def objectives(self) -> np.ndarray:
+        return np.array([s.objective for s in self.solutions])
+
+    @property
+    def violations(self) -> np.ndarray:
+        return np.array([s.max_constraint_violation for s in self.solutions])
+
+    @property
+    def iterations(self) -> np.ndarray:
+        """Per-scenario inner ADMM iterations spent this period."""
+        return np.array([s.inner_iterations for s in self.solutions], dtype=int)
+
+    @property
+    def converged(self) -> np.ndarray:
+        return np.array([s.converged for s in self.solutions], dtype=bool)
+
+
+@dataclass
+class BatchHorizonResult:
+    """Result of a batched tracking run: per-period × per-scenario series.
+
+    ``solve_seconds`` of each period is the simulated fleet wall-clock — the
+    batched stream's elapsed time in single-device mode, the pool *makespan*
+    (max per-worker busy time) in pooled mode — so the cumulative series is
+    the batched analogue of Figure 1's y-axis.  :meth:`scenario_result`
+    projects one scenario out as a classic
+    :class:`~repro.tracking.horizon.HorizonResult`, which keeps the figure
+    renderers and :func:`~repro.tracking.horizon.relative_gaps` usable per
+    scenario.
+    """
+
+    scenario_names: list[str]
+    warm_start: bool
+    n_workers: int = 1
+    executor: str = "single-device"
+    ramp_fraction: float = DEFAULT_RAMP_FRACTION
+    periods: list[BatchPeriodRecord] = field(default_factory=list)
+
+    @property
+    def n_periods(self) -> int:
+        return len(self.periods)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenario_names)
+
+    @property
+    def cumulative_seconds(self) -> np.ndarray:
+        """Cumulative fleet wall-clock after each period (Figure 1, batched)."""
+        return np.cumsum([p.solve_seconds for p in self.periods])
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(p.solve_seconds for p in self.periods))
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """``(n_periods, n_scenarios)`` objective matrix."""
+        return np.array([p.objectives for p in self.periods])
+
+    @property
+    def violations(self) -> np.ndarray:
+        """``(n_periods, n_scenarios)`` max-constraint-violation matrix."""
+        return np.array([p.violations for p in self.periods])
+
+    @property
+    def iterations(self) -> np.ndarray:
+        """``(n_periods, n_scenarios)`` inner-iteration matrix."""
+        return np.array([p.iterations for p in self.periods], dtype=int)
+
+    @property
+    def total_inner_iterations(self) -> int:
+        """Total ADMM inner iterations across the whole horizon and fleet."""
+        return int(self.iterations.sum()) if self.periods else 0
+
+    @property
+    def n_steals(self) -> int:
+        return sum(p.steals for p in self.periods)
+
+    def scenario_index(self, scenario: int | str) -> int:
+        if isinstance(scenario, str):
+            try:
+                return self.scenario_names.index(scenario)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; choose from "
+                    f"{self.scenario_names}") from None
+        return int(scenario)
+
+    def scenario_result(self, scenario: int | str) -> HorizonResult:
+        """One scenario's horizon as a classic :class:`HorizonResult`.
+
+        Per-period ``solve_seconds`` is the scenario's own solve time (the
+        stream's elapsed time when that scenario froze), not the fleet
+        makespan — summing scenario results therefore over-counts shared
+        stream time; use :attr:`cumulative_seconds` for fleet wall-clock.
+        """
+        s = self.scenario_index(scenario)
+        records = []
+        for period in self.periods:
+            solution = period.solutions[s]
+            records.append(PeriodRecord(
+                period=period.period,
+                load_multiplier=float(period.multipliers[s]),
+                objective=solution.objective,
+                max_violation=solution.max_constraint_violation,
+                solve_seconds=solution.solve_seconds,
+                iterations=solution.inner_iterations,
+                converged=solution.converged,
+                pg=solution.pg, vm=solution.vm, va=solution.va))
+        return HorizonResult(method="admm",
+                             network_name=self.scenario_names[s],
+                             warm_start=self.warm_start, periods=records)
+
+
+# --------------------------------------------------------------------- #
+# Per-scenario period expansion (vectorised)                              #
+# --------------------------------------------------------------------- #
+@dataclass
+class _ScenarioBase:
+    """Per-scenario constants the period loop reads every step.
+
+    ``pd_mw``/``qd_mw`` are the raw component loads in MW — scaling them and
+    dividing by ``base_mva`` reproduces bitwise what
+    ``with_scaled_loads`` + ``Network._build_arrays`` would compute, without
+    touching component records.
+    """
+
+    scenario: Scenario
+    pd_mw: np.ndarray
+    qd_mw: np.ndarray
+    active: np.ndarray   # active-generator indices (the stacked gen axis)
+
+    @classmethod
+    def build(cls, scenario: Scenario) -> "_ScenarioBase":
+        network = scenario.network
+        return cls(
+            scenario=scenario,
+            pd_mw=np.array([bus.pd for bus in network.buses], dtype=float),
+            qd_mw=np.array([bus.qd for bus in network.buses], dtype=float),
+            active=np.flatnonzero(network.gen_status))
+
+    def period_arrays(self, multiplier: float, previous_pg: np.ndarray | None,
+                      ramp_fraction: float):
+        """``(bus_pd, bus_qd, gen_pmin, gen_pmax)`` of one period, per unit.
+
+        Bound arrays cover the **full** generator axis; the caller selects
+        the active rows when stacking.
+        """
+        network = self.scenario.network
+        base = network.base_mva
+        bus_pd = (self.pd_mw * multiplier) / base
+        bus_qd = (self.qd_mw * multiplier) / base
+        if previous_pg is None:
+            return bus_pd, bus_qd, network.gen_pmin, network.gen_pmax
+        lo, hi = ramp_window(network, previous_pg, ramp_fraction)
+        return bus_pd, bus_qd, lo, hi
+
+
+# --------------------------------------------------------------------- #
+# The driver                                                              #
+# --------------------------------------------------------------------- #
+def track_horizon_batch(scenarios, profile,
+                        params: AdmmParameters | None = None,
+                        warm_start: bool = True,
+                        ramp_fraction: float = DEFAULT_RAMP_FRACTION,
+                        time_limit_per_period: float | None = None,
+                        pool: DevicePool | None = None,
+                        cache: WarmStartCache | None = None,
+                        ) -> BatchHorizonResult:
+    """Track a load profile with a whole scenario fleet per period.
+
+    Parameters
+    ----------
+    scenarios:
+        The base fleet — anything :func:`~repro.scenarios.as_scenario_set`
+        accepts (a single network, a list of networks, or a
+        :class:`~repro.scenarios.ScenarioSet` built by any generator:
+        load-scaled, N-1 contingencies, monte-carlo perturbations, ...).
+        Scenario names must be unique: they key the warm-start cache.
+    profile:
+        A :class:`~repro.tracking.load_profile.LoadProfile` shared by the
+        fleet, or one profile per scenario (equal horizon lengths).
+    params:
+        Shared :class:`~repro.admm.parameters.AdmmParameters` (per-scenario
+        penalty overrides on the scenarios still apply).
+    warm_start:
+        ``True`` seeds every scenario's period-``t`` solve from its period
+        ``t−1`` freeze-time state (and, in pooled mode, pins it to the
+        worker holding that state); ``False`` is the cold-start ablation.
+        Ramp limits couple consecutive periods in **both** modes, exactly
+        like the sequential driver.
+    time_limit_per_period:
+        Per-scenario, per-period ADMM budget; the batched stream receives
+        the aggregate (``limit × S``), pooled chunks their own aggregates.
+    pool:
+        A :class:`~repro.parallel.pool.DevicePool` to shard each period
+        across; ``None`` (default) keeps one persistent
+        :class:`~repro.admm.batch_solver.BatchAdmmSolver` whose stacked
+        arrays are updated in place between periods — the fastest
+        single-device path because nothing is ever re-stacked.
+    cache:
+        A :class:`WarmStartCache` to resume from / fill; default a fresh
+        one.  A pre-seeded cache warm-starts period 0 and anchors its ramp
+        windows — that is how a horizon is continued across calls.
+    """
+    base = as_scenario_set(scenarios)
+    n_scenarios = len(base)
+    keys = base.names
+    if len(set(keys)) != n_scenarios:
+        raise ConfigurationError(
+            "scenario names must be unique — they key the warm-start cache")
+    profiles = normalize_profiles(profile, n_scenarios)
+    n_periods = profiles[0].n_periods
+    cache = cache if cache is not None else WarmStartCache()
+    bases = [_ScenarioBase.build(scenario) for scenario in base]
+
+    result = BatchHorizonResult(
+        scenario_names=list(keys), warm_start=warm_start,
+        n_workers=pool.n_workers if pool is not None else 1,
+        executor=pool.executor if pool is not None else "single-device",
+        ramp_fraction=ramp_fraction)
+
+    solver: BatchAdmmSolver | None = None
+    for period in range(n_periods):
+        multipliers = np.array([p.multiplier(period) for p in profiles])
+        previous = cache.previous_pg(keys)
+
+        views = []
+        per_scenario = []
+        for s, scenario_base in enumerate(bases):
+            bus_pd, bus_qd, lo, hi = scenario_base.period_arrays(
+                multipliers[s], previous[s], ramp_fraction)
+            views.append(scenario_base.scenario.network.with_array_overrides(
+                bus_pd=bus_pd, bus_qd=bus_qd, gen_pmin=lo, gen_pmax=hi))
+            per_scenario.append((bus_pd, bus_qd, lo, hi))
+
+        warm_states = cache.states(keys) if warm_start else None
+        start = time.perf_counter()
+        if pool is None:
+            solver = _solve_single_device(solver, base, bases, views,
+                                          per_scenario, params)
+            solutions = solver.solve(
+                time_limit=(None if time_limit_per_period is None
+                            else time_limit_per_period * n_scenarios),
+                warm_start=warm_states)
+            wall = time.perf_counter() - start
+            seconds = wall
+            workers: list[int | None] = [None] * n_scenarios
+            steals = 0
+        else:
+            scenario_set = _period_scenario_set(base, views, period)
+            report = pool.solve(scenario_set, params=params,
+                                time_limit=time_limit_per_period,
+                                warm_states=warm_states,
+                                affinity=(cache.affinity(keys)
+                                          if warm_start else None))
+            solutions = report.solutions
+            wall = time.perf_counter() - start
+            seconds = report.makespan_seconds
+            worker_map = report.scenario_workers
+            workers = [worker_map.get(s) for s in range(n_scenarios)]
+            steals = report.n_steals
+            # the pool clamps its width to the scenario count; record the
+            # width the periods actually ran at
+            result.n_workers = report.n_workers
+
+        for s, solution in enumerate(solutions):
+            cache.store(keys[s], state=solution.state, pg=solution.pg,
+                        worker=workers[s], period=period)
+        # The cache owns the live AdmmStates; the retained per-period
+        # solutions are detached from theirs so a long horizon accumulates
+        # O(reported arrays), not O(full solver state), per scenario-period.
+        result.periods.append(BatchPeriodRecord(
+            period=period, multipliers=multipliers,
+            solutions=[replace(solution, state=None) for solution in solutions],
+            solve_seconds=seconds, wall_seconds=wall, workers=workers,
+            steals=steals))
+        LOGGER.debug("period %d: %d scenarios, %d iterations, %.2fs%s",
+                     period, n_scenarios,
+                     int(result.periods[-1].iterations.sum()), seconds,
+                     f", {steals} steals" if steals else "")
+    return result
+
+
+def _period_scenario_set(base: ScenarioSet, views, period: int) -> ScenarioSet:
+    """The effective fleet of one period (view networks, penalties kept)."""
+    return ScenarioSet(
+        scenarios=tuple(
+            Scenario(name=scenario.name, network=view,
+                     rho_pq=scenario.rho_pq, rho_va=scenario.rho_va)
+            for scenario, view in zip(base.scenarios, views)),
+        name=f"{base.name}@t{period}")
+
+
+def _solve_single_device(solver: BatchAdmmSolver | None, base: ScenarioSet,
+                         bases: list[_ScenarioBase], views, per_scenario,
+                         params: AdmmParameters | None) -> BatchAdmmSolver:
+    """Build the persistent solver once, then step it in place per period."""
+    if solver is None:
+        return BatchAdmmSolver(_period_scenario_set(base, views, 0),
+                               params=params)
+    solver.update_scenario_data(
+        bus_pd=np.concatenate([arrays[0] for arrays in per_scenario]),
+        bus_qd=np.concatenate([arrays[1] for arrays in per_scenario]),
+        gen_pmin=np.concatenate([arrays[2][scenario_base.active]
+                                 for arrays, scenario_base
+                                 in zip(per_scenario, bases)]),
+        gen_pmax=np.concatenate([arrays[3][scenario_base.active]
+                                 for arrays, scenario_base
+                                 in zip(per_scenario, bases)]),
+        networks=views)
+    return solver

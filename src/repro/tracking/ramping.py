@@ -5,6 +5,14 @@ When warm-starting period ``t+1`` from period ``t`` the paper enforces
 maximum real output.  The simplest faithful realisation is to shrink each
 generator's dispatch window to the ramp-feasible interval around its previous
 set point before the period is solved, which is what both solvers use here.
+
+Two realisations of the same window are provided: :func:`apply_ramp_limits`
+rebuilds the generator components (the classic single-network path), and
+:func:`ramp_window` returns the identical per-unit bounds as plain arrays so
+the batched tracking pipeline can overwrite stacked bound arrays in place —
+no per-network rebuilds between periods.  Both go through one shared MW-space
+computation, so their results are bitwise identical (including the round trip
+through ``base_mva`` that the component rebuild incurs).
 """
 
 from __future__ import annotations
@@ -25,6 +33,43 @@ def ramp_limits(network: Network, fraction: float = DEFAULT_RAMP_FRACTION) -> np
     return np.where(explicit > 0, np.minimum(explicit, fallback), fallback)
 
 
+def _ramp_window_mw(network: Network, previous_pg: np.ndarray,
+                    fraction: float) -> tuple[np.ndarray, np.ndarray]:
+    """The ramp-feasible dispatch window in MW (full generator axis).
+
+    Never produces an empty window: when the previous point sat at a bound
+    the window collapses onto the (clipped) previous set point.
+    """
+    limit = ramp_limits(network, fraction)
+    base = network.base_mva
+    lo = np.maximum(network.gen_pmin, previous_pg - limit) * base
+    hi = np.minimum(network.gen_pmax, previous_pg + limit) * base
+    fix = np.clip(previous_pg * base, network.gen_pmin * base, network.gen_pmax * base)
+    empty = lo > hi
+    return np.where(empty, fix, lo), np.where(empty, fix, hi)
+
+
+def ramp_window(network: Network, previous_pg: np.ndarray,
+                fraction: float = DEFAULT_RAMP_FRACTION,
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Ramp-feasible ``(pmin, pmax)`` in per unit, over the full generator axis.
+
+    Bitwise the bound arrays a network rebuilt by :func:`apply_ramp_limits`
+    would expose (the MW values divided by ``base_mva`` exactly as
+    ``Network._build_arrays`` divides them), which is what lets the tracking
+    pipeline apply ramp limits as vectorised updates on stacked
+    :class:`~repro.admm.data.ComponentData` bound arrays.  Out-of-service
+    generators keep their (pinned-to-zero) bounds.
+    """
+    previous_pg = np.asarray(previous_pg, dtype=float)
+    lo_mw, hi_mw = _ramp_window_mw(network, previous_pg, fraction)
+    base = network.base_mva
+    active = network.gen_status
+    lo = np.where(active, lo_mw / base, network.gen_pmin)
+    hi = np.where(active, hi_mw / base, network.gen_pmax)
+    return lo, hi
+
+
 def apply_ramp_limits(network: Network, previous_pg: np.ndarray,
                       fraction: float = DEFAULT_RAMP_FRACTION,
                       name: str | None = None) -> Network:
@@ -32,24 +77,17 @@ def apply_ramp_limits(network: Network, previous_pg: np.ndarray,
     ramp-feasible window around ``previous_pg`` (per unit, full generator axis).
     """
     previous_pg = np.asarray(previous_pg, dtype=float)
-    limit = ramp_limits(network, fraction)
-    base = network.base_mva
+    lo_mw, hi_mw = _ramp_window_mw(network, previous_pg, fraction)
 
     new_gens = []
     for g, gen in enumerate(network.generators):
         if not gen.in_service:
             new_gens.append(gen)
             continue
-        lo = max(network.gen_pmin[g], previous_pg[g] - limit[g]) * base
-        hi = min(network.gen_pmax[g], previous_pg[g] + limit[g]) * base
-        # Never produce an empty window (can happen if the previous point sat
-        # at a bound): keep at least the previous set point inside.
-        if lo > hi:
-            lo = hi = float(np.clip(previous_pg[g] * base, network.gen_pmin[g] * base,
-                                    network.gen_pmax[g] * base))
         new_gens.append(Generator(bus=gen.bus, pg=gen.pg, qg=gen.qg, qmax=gen.qmax,
                                   qmin=gen.qmin, vg=gen.vg, mbase=gen.mbase,
-                                  status=gen.status, pmax=hi, pmin=lo,
+                                  status=gen.status, pmax=float(hi_mw[g]),
+                                  pmin=float(lo_mw[g]),
                                   ramp_rate=gen.ramp_rate))
     return Network(name=name or network.name, base_mva=network.base_mva,
                    buses=list(network.buses), branches=list(network.branches),

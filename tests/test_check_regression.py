@@ -1,0 +1,194 @@
+"""Unit tests for the CI performance-regression gate itself.
+
+``benchmarks/check_regression.py`` guards every PR; until now it was the
+one piece of CI infrastructure with no tests of its own.  Covered here:
+missing baselines / missing fresh artifacts (with and without
+``--require-all``), malformed JSON, the exact-threshold boundary, metric
+keys missing from an artifact, smoke/worker provenance mismatches, and the
+process exit codes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+NAME = "BENCH_pool.json"  # any gated artifact name works
+
+
+def write(directory: Path, name: str, payload) -> Path:
+    path = directory / name
+    path.write_text(payload if isinstance(payload, str)
+                    else json.dumps(payload))
+    return path
+
+
+def artifact(speedup, metric="speedup", **extra) -> dict:
+    payload = {metric: speedup, "smoke_mode": True, "worker_count": 2,
+               "git_sha": "deadbeef"}
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    return results, baselines
+
+
+def check(results, baselines, name=NAME, tolerance=0.25, require_all=False):
+    return check_regression.check_file(name, results, baselines,
+                                       tolerance, require_all)
+
+
+class TestCheckFile:
+    def test_missing_baseline_skips(self, dirs):
+        results, baselines = dirs
+        write(results, NAME, artifact(2.0))
+        ok, message = check(results, baselines)
+        assert ok and message.startswith("SKIP")
+
+    def test_missing_fresh_artifact_skips_unless_required(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        ok, message = check(results, baselines, require_all=False)
+        assert ok and message.startswith("SKIP")
+        ok, message = check(results, baselines, require_all=True)
+        assert not ok and message.startswith("FAIL")
+
+    def test_malformed_fresh_json_fails_cleanly(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, '{"speedup": 2.0')  # truncated
+        ok, message = check(results, baselines)
+        assert not ok and "malformed JSON" in message
+
+    def test_malformed_baseline_json_fails_cleanly(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, "not json at all")
+        write(results, NAME, artifact(2.0))
+        ok, message = check(results, baselines)
+        assert not ok and "malformed JSON" in message
+
+    def test_non_object_artifact_fails(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, json.dumps([1, 2, 3]))
+        ok, message = check(results, baselines)
+        assert not ok and "not a JSON object" in message
+
+    def test_ratio_exactly_at_threshold_passes(self, dirs):
+        # floor = baseline * (1 - tolerance); "dropped by MORE than the
+        # tolerance" fails, landing exactly on the floor does not.
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact(2.0 * (1.0 - 0.25)))
+        ok, message = check(results, baselines, tolerance=0.25)
+        assert ok and message.startswith("OK")
+
+    def test_drop_below_threshold_fails(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact(1.4999))
+        ok, message = check(results, baselines, tolerance=0.25)
+        assert not ok and message.startswith("FAIL")
+
+    def test_improvement_passes(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact(3.5))
+        ok, _ = check(results, baselines)
+        assert ok
+
+    def test_metric_key_missing_from_fresh_fails(self, dirs):
+        # e.g. a benchmark renames its payload key without updating the
+        # gate: that must fail, not silently disarm the comparison
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact(2.0, metric="new_speedup_key"))
+        ok, message = check(results, baselines)
+        assert not ok and "missing" in message
+
+    def test_non_numeric_metric_fails(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact("fast!"))
+        ok, message = check(results, baselines)
+        assert not ok and "not numeric" in message
+
+    def test_smoke_mode_mismatch_skips(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact(0.1, smoke_mode=False))
+        ok, message = check(results, baselines)
+        assert ok and "smoke_mode mismatch" in message
+
+    def test_worker_count_mismatch_skips(self, dirs):
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))
+        write(results, NAME, artifact(0.1, worker_count=1))
+        ok, message = check(results, baselines)
+        assert ok and "worker_count mismatch" in message
+
+    def test_tracking_artifact_is_gated_on_iteration_speedup(self, dirs):
+        results, baselines = dirs
+        name = "BENCH_tracking.json"
+        assert name in check_regression.GATED_METRICS
+        metric, _ = check_regression.GATED_METRICS[name]
+        assert metric == "iteration_speedup"
+        write(baselines, name, artifact(9.0, metric=metric))
+        write(results, name, artifact(2.0, metric=metric))
+        ok, message = check(results, baselines, name=name)
+        assert not ok and message.startswith("FAIL")
+
+
+class TestMain:
+    def test_all_ok_returns_zero(self, dirs, capsys):
+        results, baselines = dirs
+        for name, (metric, _) in check_regression.GATED_METRICS.items():
+            write(baselines, name, artifact(2.0, metric=metric))
+            write(results, name, artifact(2.1, metric=metric))
+        code = check_regression.main(["--results-dir", str(results),
+                                      "--baseline-dir", str(baselines)])
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_one_regression_returns_one(self, dirs, capsys):
+        results, baselines = dirs
+        for name, (metric, _) in check_regression.GATED_METRICS.items():
+            write(baselines, name, artifact(2.0, metric=metric))
+            write(results, name, artifact(2.1, metric=metric))
+        metric, _ = check_regression.GATED_METRICS[NAME]
+        write(results, NAME, artifact(0.5, metric=metric))
+        code = check_regression.main(["--results-dir", str(results),
+                                      "--baseline-dir", str(baselines)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_ungated_fresh_artifact_is_ignored(self, dirs):
+        # a brand-new BENCH_*.json with no gate entry must not break main()
+        results, baselines = dirs
+        write(results, "BENCH_shiny_new_thing.json", artifact(1.0))
+        code = check_regression.main(["--results-dir", str(results),
+                                      "--baseline-dir", str(baselines)])
+        assert code == 0
+
+    def test_require_all_fails_on_missing_fresh(self, dirs):
+        results, baselines = dirs
+        metric, _ = check_regression.GATED_METRICS[NAME]
+        write(baselines, NAME, artifact(2.0, metric=metric))
+        code = check_regression.main(["--results-dir", str(results),
+                                      "--baseline-dir", str(baselines),
+                                      "--require-all"])
+        assert code == 1

@@ -248,6 +248,86 @@ class TestDevicePoolProcess:
 
 
 # --------------------------------------------------------------------- #
+# Shard affinity (persistent placement) and warm-state transfer          #
+# --------------------------------------------------------------------- #
+class TestAffinity:
+    def test_affinity_partition_places_preferences(self):
+        shards = DevicePool._affinity_partition([1, 0, None, 1],
+                                                [1.0, 1.0, 5.0, 1.0], 2)
+        assert shards[0] == [1, 2]  # preference 0, then the costly orphan
+        assert shards[1] == [0, 3]
+
+    def test_affinity_mapping_form_and_wraparound(self):
+        # dict form; worker ids recorded on a wider pool wrap into range
+        shards = DevicePool._affinity_partition({0: 3, 2: 1},
+                                                [1.0, 1.0, 1.0], 2)
+        assert shards[1] == [0, 2]  # 0 -> 3 % 2 = 1; 2 -> 1
+        assert shards[0] == [1]     # the unpreferred orphan fills the gap
+
+    def test_affinity_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DevicePool._affinity_partition([0, 1], [1.0, 1.0, 1.0], 2)
+
+    def test_affinity_solve_matches_single_device(self):
+        scenario_set = quick_batch(4)
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK, affinity=[1, 1, 0, 0])
+        assert report.placement == "affinity"
+        assert_solutions_identical(report.solutions, reference)
+        # every scenario started on (or was stolen from) its preferred worker
+        assert set(report.scenario_workers) == {0, 1, 2, 3}
+
+    def test_forced_steal_preserves_batch_order(self):
+        """All scenarios pinned to worker 0: worker 1 must steal, and the
+        re-merged results stay identical to the single-device solve."""
+        scenario_set = quick_batch(4)
+        reference = repro.solve_acopf_admm_batch(scenario_set, params=QUICK)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK, affinity=[0, 0, 0, 0])
+        assert report.n_steals > 0
+        assert_solutions_identical(report.solutions, reference)
+
+    def test_warm_states_ship_with_chunks(self):
+        """A pooled warm-started solve equals the batched warm-started solve
+        — including for scenarios a steal moved across workers."""
+        scenario_set = quick_batch(4)
+        cold = BatchAdmmSolver(scenario_set, params=QUICK).solve()
+        states = [s.state for s in cold]
+        reference = BatchAdmmSolver(scenario_set, params=QUICK).solve(
+            warm_start=states)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK, warm_states=states,
+                            affinity=[0, 0, 0, 0])  # forces worker 1 to steal
+        assert report.n_steals > 0
+        assert_solutions_identical(report.solutions, reference)
+
+    def test_warm_states_through_process_executor(self):
+        scenario_set = quick_batch(3)
+        cold = BatchAdmmSolver(scenario_set, params=QUICK).solve()
+        states = [s.state for s in cold]
+        reference = BatchAdmmSolver(scenario_set, params=QUICK).solve(
+            warm_start=states)
+        pool = DevicePool(n_workers=2, executor="process", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK, warm_states=states,
+                            affinity=[0, 1, 0])
+        assert_solutions_identical(report.solutions, reference)
+
+    def test_warm_states_length_mismatch_rejected(self):
+        pool = DevicePool(n_workers=2, executor="sequential")
+        with pytest.raises(ConfigurationError):
+            pool.solve(quick_batch(3), params=QUICK, warm_states=[None])
+
+    def test_scenario_workers_property(self):
+        scenario_set = quick_batch(3)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        report = pool.solve(scenario_set, params=QUICK)
+        workers = report.scenario_workers
+        assert sorted(workers) == [0, 1, 2]
+        assert all(0 <= w < report.n_workers for w in workers.values())
+
+
+# --------------------------------------------------------------------- #
 # Shard entry point                                                      #
 # --------------------------------------------------------------------- #
 class TestShardEntryPoint:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.tracking import apply_ramp_limits, make_load_profile, track_horizon
-from repro.tracking.horizon import relative_gaps
+from repro.tracking.horizon import HorizonResult, PeriodRecord, relative_gaps
 from repro.tracking.ramping import ramp_limits
 
 
@@ -107,3 +107,64 @@ class TestHorizonDriver:
         result = track_horizon(case9, profile, method="ipm", warm_start=False)
         assert not result.warm_start
         assert len(result.periods) == 2
+
+    def test_single_period_horizon(self, case9):
+        """A one-period horizon: cumulative series and totals degenerate cleanly."""
+        profile = make_load_profile(n_periods=1, seed=2)
+        result = track_horizon(case9, profile, method="ipm")
+        assert len(result.periods) == 1
+        assert result.cumulative_seconds.shape == (1,)
+        assert result.cumulative_seconds[0] == result.periods[0].solve_seconds
+        assert result.total_seconds == result.periods[0].solve_seconds
+        assert result.total_iterations == result.periods[0].iterations
+        gaps = relative_gaps(result, result)
+        assert gaps.shape == (1,) and gaps[0] == 0.0
+
+    def test_solve_seconds_use_monotonic_clock(self, case9):
+        """Wall-clock per period comes from ``time.perf_counter`` (monotonic,
+        unaffected by system clock adjustments), so it can never go negative."""
+        profile = make_load_profile(n_periods=2, seed=3)
+        result = track_horizon(case9, profile, method="ipm")
+        assert all(p.solve_seconds >= 0.0 for p in result.periods)
+        assert np.all(np.diff(result.cumulative_seconds) >= 0)
+
+    def test_iterations_series(self, case9):
+        profile = make_load_profile(n_periods=3, seed=7)
+        result = track_horizon(case9, profile, method="ipm")
+        assert result.iterations.shape == (3,)
+        assert result.iterations.dtype.kind == "i"
+        assert result.total_iterations == int(result.iterations.sum())
+
+
+class TestRelativeGaps:
+    @staticmethod
+    def _horizon_with_objectives(objectives):
+        result = HorizonResult(method="ipm", network_name="synthetic",
+                               warm_start=True)
+        for t, objective in enumerate(objectives):
+            result.periods.append(PeriodRecord(
+                period=t, load_multiplier=1.0, objective=float(objective),
+                max_violation=0.0, solve_seconds=0.0, iterations=1,
+                converged=True, pg=np.zeros(1), vm=np.ones(1), va=np.zeros(1)))
+        return result
+
+    def test_zero_objective_reference_reports_absolute_gap(self):
+        """A zero reference objective must not divide by zero — the gap for
+        that period degrades to the absolute difference."""
+        candidate = self._horizon_with_objectives([1.5, 10.0])
+        reference = self._horizon_with_objectives([0.0, 8.0])
+        gaps = relative_gaps(candidate, reference)
+        assert np.all(np.isfinite(gaps))
+        assert gaps[0] == 1.5           # absolute: |1.5 - 0| / 1
+        assert gaps[1] == 0.25          # relative: |10 - 8| / 8
+
+    def test_negative_reference_uses_magnitude(self):
+        candidate = self._horizon_with_objectives([-9.0])
+        reference = self._horizon_with_objectives([-10.0])
+        gaps = relative_gaps(candidate, reference)
+        assert np.isclose(gaps[0], 0.1)
+
+    def test_single_period_gap(self):
+        candidate = self._horizon_with_objectives([2.0])
+        reference = self._horizon_with_objectives([2.0])
+        assert np.array_equal(relative_gaps(candidate, reference), [0.0])

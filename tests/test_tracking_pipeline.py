@@ -1,0 +1,441 @@
+"""Tests for the batched rolling-horizon tracking pipeline.
+
+The hardening pass the tracking path was promised: a differential suite
+against the sequential driver (down to bitwise identity for the S=1 cold
+path — the tracking extension of the repo's bitwise-equivalence
+invariant), a seeded property-style sweep over random synthetic grids and
+profiles, the warm-start cache and its shard-affinity bookkeeping, and the
+in-place period update of stacked solver data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.admm.batch_solver import BatchAdmmSolver
+from repro.admm.parameters import parameters_for_case
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.synthetic import make_synthetic_grid
+from repro.parallel import DevicePool
+from repro.scenarios import (
+    ScenarioSet,
+    period_scenario_sets,
+    tracking_fleet,
+)
+from repro.tracking import make_load_profile, track_horizon, track_horizon_batch
+from repro.tracking.load_profile import LoadProfile
+from repro.tracking.pipeline import BatchHorizonResult, WarmStartCache
+from repro.tracking.ramping import apply_ramp_limits, ramp_limits, ramp_window
+
+#: Capped budgets: differential tests compare trajectories bit for bit, so
+#: convergence is irrelevant and short runs keep the suite fast.
+QUICK = dict(max_outer=2, max_inner=25)
+
+
+def quick_params(network, **overrides):
+    return parameters_for_case(network, **{**QUICK, **overrides})
+
+
+def assert_period_identical(record, solution) -> None:
+    """One batched period record entry vs a sequential PeriodRecord."""
+    assert record.iterations == solution.inner_iterations
+    assert np.array_equal(record.pg, solution.pg)
+    assert np.array_equal(record.vm, solution.vm)
+    assert np.array_equal(record.va, solution.va)
+    assert record.objective == solution.objective
+    assert record.max_violation == solution.max_constraint_violation
+
+
+# --------------------------------------------------------------------- #
+# Differential: batched vs the sequential driver                          #
+# --------------------------------------------------------------------- #
+class TestDifferential:
+    def test_cold_s1_bitwise_identical_to_sequential(self, case9):
+        """The cold-start S=1 batched path extends the bitwise invariant."""
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=3, seed=4)
+        sequential = track_horizon(case9, profile, method="admm",
+                                   warm_start=False, admm_params=params)
+        batched = track_horizon_batch(case9, profile, params=params,
+                                      warm_start=False)
+        assert batched.n_periods == 3 and batched.n_scenarios == 1
+        for seq_record, batch_record in zip(sequential.periods, batched.periods):
+            assert_period_identical(seq_record, batch_record.solutions[0])
+
+    def test_warm_s1_matches_sequential(self, case9):
+        """Warm-started periods agree with the sequential warm driver.
+
+        The cache's scatter-start replicates ``AdmmSolver.solve(warm_start=)``
+        exactly, so the agreement is bitwise — comfortably inside any solver
+        tolerance.
+        """
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=3, seed=4)
+        sequential = track_horizon(case9, profile, method="admm",
+                                   warm_start=True, admm_params=params)
+        batched = track_horizon_batch(case9, profile, params=params,
+                                      warm_start=True)
+        for seq_record, batch_record in zip(sequential.periods, batched.periods):
+            assert_period_identical(seq_record, batch_record.solutions[0])
+
+    def test_scenario_result_projection(self, case9):
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=2, seed=1)
+        fleet = tracking_fleet(case9, "load", 3, spread=0.04)
+        batched = track_horizon_batch(fleet, profile, params=params)
+        series = batched.scenario_result(fleet.names[1])
+        assert series.network_name == fleet.names[1]
+        assert len(series.periods) == 2
+        assert np.array_equal(series.objectives, batched.objectives[:, 1])
+        assert series.total_iterations == int(batched.iterations[:, 1].sum())
+        with pytest.raises(ConfigurationError):
+            batched.scenario_result("no-such-scenario")
+
+    def test_single_device_matches_pool_both_executors(self, case9):
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=3, seed=2)
+        fleet = tracking_fleet(case9, "load", 4, spread=0.05)
+        reference = track_horizon_batch(fleet, profile, params=params)
+        for executor in ("sequential", "process"):
+            pool = DevicePool(n_workers=2, executor=executor,
+                              chunk_scenarios=1)
+            pooled = track_horizon_batch(fleet, profile, params=params,
+                                         pool=pool)
+            assert pooled.executor == executor
+            for ref_period, pool_period in zip(reference.periods, pooled.periods):
+                for ref_solution, pool_solution in zip(ref_period.solutions,
+                                                       pool_period.solutions):
+                    assert ref_solution.inner_iterations == pool_solution.inner_iterations
+                    assert np.array_equal(ref_solution.pg, pool_solution.pg)
+                    assert np.array_equal(ref_solution.vm, pool_solution.vm)
+
+    def test_forced_mid_horizon_steal_keeps_batch_order(self, case9):
+        """Affinity mode survives a forced steal bit for bit.
+
+        The horizon is split across two calls sharing one cache; before the
+        second call every scenario's affinity is pointed at worker 0, so
+        with single-scenario chunks worker 1 *must* steal — and the stolen
+        scenarios' warm states ship with the chunks.  Every period must
+        still re-merge in batch order identical to the single-device run of
+        the unsplit horizon.
+        """
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=4, seed=1)
+        fleet = tracking_fleet(case9, "load", 4, spread=0.05)
+        reference = track_horizon_batch(fleet, profile, params=params)
+
+        pool = DevicePool(n_workers=2, executor="sequential",
+                          chunk_scenarios=1)
+        cache = WarmStartCache()
+        first = track_horizon_batch(
+            fleet, LoadProfile(profile.multipliers[:2]), params=params,
+            pool=pool, cache=cache)
+        for key in fleet.names:
+            cache.get(key).worker = 0  # all warm states "live" on worker 0
+        second = track_horizon_batch(
+            fleet, LoadProfile(profile.multipliers[2:]), params=params,
+            pool=pool, cache=cache)
+
+        assert second.periods[0].steals > 0
+        resumed = first.periods + second.periods
+        for ref_period, period in zip(reference.periods, resumed):
+            for ref_solution, solution in zip(ref_period.solutions,
+                                              period.solutions):
+                assert ref_solution.inner_iterations == solution.inner_iterations
+                assert np.array_equal(ref_solution.pg, solution.pg)
+                assert np.array_equal(ref_solution.vm, solution.vm)
+                assert np.array_equal(ref_solution.va, solution.va)
+                assert ref_solution.objective == solution.objective
+
+    def test_result_records_effective_pool_width(self, case9):
+        params = quick_params(case9)
+        fleet = tracking_fleet(case9, "load", 2, spread=0.02)
+        pool = DevicePool(n_workers=8, executor="sequential")
+        result = track_horizon_batch(fleet, make_load_profile(n_periods=2),
+                                     params=params, pool=pool)
+        assert result.n_workers == 2  # clamped to the scenario count
+
+    def test_affinity_keeps_scenarios_on_their_workers(self, case9):
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=3, seed=3)
+        fleet = tracking_fleet(case9, "load", 4, spread=0.05)
+        pool = DevicePool(n_workers=2, executor="sequential")
+        result = track_horizon_batch(fleet, profile, params=params, pool=pool)
+        placements = [period.workers for period in result.periods]
+        # equal-cost fleet, no steals: period 0's LPT placement persists
+        assert placements[1] == placements[0]
+        assert placements[2] == placements[0]
+
+
+# --------------------------------------------------------------------- #
+# Property-style sweep: random grids x random profiles                    #
+# --------------------------------------------------------------------- #
+class TestPropertySweep:
+    #: (grid seed, profile seed) pairs — recorded so failures reproduce.
+    SEEDS = [(3, 11), (7, 23), (21, 5)]
+
+    @pytest.mark.parametrize("grid_seed,profile_seed", SEEDS)
+    def test_warm_never_exceeds_cold_iterations_and_ramps_hold(
+            self, grid_seed, profile_seed):
+        network = make_synthetic_grid(n_bus=10, n_gen=3, n_branch=13,
+                                      style="pegase", seed=grid_seed)
+        params = parameters_for_case(network, outer_tol=1e-2,
+                                     inner_tol_primal=1e-3,
+                                     inner_tol_dual=1e-2, max_outer=4,
+                                     max_inner=150)
+        rng = np.random.default_rng(profile_seed)
+        profile = make_load_profile(n_periods=3,
+                                    total_drift=float(rng.uniform(0.01, 0.05)),
+                                    seed=profile_seed)
+        warm = track_horizon_batch(network, profile, params=params,
+                                   warm_start=True)
+        cold = track_horizon_batch(network, profile, params=params,
+                                   warm_start=False)
+
+        assert warm.total_inner_iterations <= cold.total_inner_iterations, (
+            f"seeds {(grid_seed, profile_seed)}: warm run used "
+            f"{warm.total_inner_iterations} iterations vs "
+            f"{cold.total_inner_iterations} cold")
+
+        limit = ramp_limits(network)
+        for result in (warm, cold):
+            dispatches = [period.solutions[0].pg for period in result.periods]
+            for previous, current in zip(dispatches[:-1], dispatches[1:]):
+                assert np.all(np.abs(current - previous) <= limit + 1e-9), (
+                    f"seeds {(grid_seed, profile_seed)}: ramp limit violated")
+
+
+# --------------------------------------------------------------------- #
+# Warm-start cache                                                        #
+# --------------------------------------------------------------------- #
+class TestWarmStartCache:
+    def test_empty_cache_answers_none(self):
+        cache = WarmStartCache()
+        assert len(cache) == 0
+        assert "x" not in cache
+        assert cache.get("x") is None
+        assert cache.states(["x", "y"]) == [None, None]
+        assert cache.previous_pg(["x"]) == [None]
+        assert cache.affinity(["x"]) == [None]
+
+    def test_store_and_recall_by_identity(self):
+        cache = WarmStartCache()
+        pg = np.array([1.0, 2.0])
+        cache.store("a", state="fake-state", pg=pg, worker=3, period=5)
+        assert "a" in cache and len(cache) == 1
+        record = cache.get("a")
+        assert record.state == "fake-state"
+        assert np.array_equal(record.pg, pg)
+        assert record.worker == 3 and record.period == 5
+        assert cache.states(["a", "b"]) == ["fake-state", None]
+        assert cache.affinity(["b", "a"]) == [None, 3]
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_cache_resume_equals_continuous_horizon(self, case9):
+        params = quick_params(case9)
+        profile = make_load_profile(n_periods=4, seed=9)
+        continuous = track_horizon_batch(case9, profile, params=params)
+        cache = WarmStartCache()
+        first = track_horizon_batch(case9, LoadProfile(profile.multipliers[:2]),
+                                    params=params, cache=cache)
+        second = track_horizon_batch(case9, LoadProfile(profile.multipliers[2:]),
+                                     params=params, cache=cache)
+        resumed = first.periods + second.periods
+        for ref_period, period in zip(continuous.periods, resumed):
+            a, b = ref_period.solutions[0], period.solutions[0]
+            assert a.inner_iterations == b.inner_iterations
+            assert np.array_equal(a.pg, b.pg)
+            assert np.array_equal(a.vm, b.vm)
+            assert a.objective == b.objective
+
+
+# --------------------------------------------------------------------- #
+# In-place period updates of stacked data                                 #
+# --------------------------------------------------------------------- #
+class TestUpdateScenarioData:
+    def test_in_place_update_matches_fresh_stack(self, case9):
+        params = quick_params(case9)
+        base = tracking_fleet(case9, "load", 2, spread=0.1)
+        solver = BatchAdmmSolver(base, params=params)
+
+        # step the loads in place to the ones a fresh stack would carry
+        scaled = ScenarioSet.from_networks(
+            [scenario.network.with_scaled_loads(1.02) for scenario in base],
+            names=base.names)
+        solver.update_scenario_data(
+            bus_pd=np.concatenate([net.bus_pd for net in scaled.networks]),
+            bus_qd=np.concatenate([net.bus_qd for net in scaled.networks]),
+            networks=list(scaled.networks))
+        fresh = BatchAdmmSolver(scaled, params=params)
+        for attr in ("bus_pd", "bus_qd", "gen_pmin", "gen_pmax"):
+            assert np.array_equal(getattr(solver.data, attr),
+                                  getattr(fresh.data, attr))
+        updated = solver.solve()
+        reference = fresh.solve()
+        for a, b in zip(updated, reference):
+            assert a.inner_iterations == b.inner_iterations
+            assert np.array_equal(a.pg, b.pg)
+            assert np.array_equal(a.vm, b.vm)
+
+    def test_shape_validation(self, case9):
+        solver = BatchAdmmSolver(tracking_fleet(case9, "load", 2),
+                                 params=quick_params(case9))
+        with pytest.raises(ConfigurationError):
+            solver.update_scenario_data(bus_pd=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            solver.update_scenario_data(gen_pmin=np.zeros(1))
+        with pytest.raises(ConfigurationError):
+            solver.update_scenario_data(networks=[case9])
+
+
+# --------------------------------------------------------------------- #
+# Vectorised ramp windows and array-override views                        #
+# --------------------------------------------------------------------- #
+class TestRampWindow:
+    def test_bitwise_matches_component_rebuild(self, case9):
+        previous = 0.5 * (case9.gen_pmin + case9.gen_pmax)
+        lo, hi = ramp_window(case9, previous)
+        rebuilt = apply_ramp_limits(case9, previous)
+        assert np.array_equal(lo, rebuilt.gen_pmin)
+        assert np.array_equal(hi, rebuilt.gen_pmax)
+
+    def test_empty_window_fix_matches(self, case9):
+        previous = case9.gen_pmax.copy()  # previous point at the upper bound
+        lo, hi = ramp_window(case9, previous)
+        rebuilt = apply_ramp_limits(case9, previous)
+        assert np.array_equal(lo, rebuilt.gen_pmin)
+        assert np.array_equal(hi, rebuilt.gen_pmax)
+        assert np.all(lo <= hi)
+
+    def test_out_of_service_generator_keeps_bounds(self):
+        from dataclasses import replace
+
+        grid = make_synthetic_grid(n_bus=8, n_gen=3, n_branch=10, seed=2)
+        generators = list(grid.generators)
+        generators[1] = replace(generators[1], status=0)
+        network = repro.Network(name=grid.name, base_mva=grid.base_mva,
+                                buses=list(grid.buses),
+                                branches=list(grid.branches),
+                                generators=generators, costs=list(grid.costs))
+        previous = np.zeros(network.n_gen)
+        lo, hi = ramp_window(network, previous)
+        assert lo[1] == network.gen_pmin[1]
+        assert hi[1] == network.gen_pmax[1]
+
+
+class TestArrayOverrides:
+    def test_view_replaces_only_requested_arrays(self, case9):
+        new_pd = case9.bus_pd * 1.1
+        view = case9.with_array_overrides(bus_pd=new_pd, name="view")
+        assert view.name == "view"
+        assert np.array_equal(view.bus_pd, new_pd)
+        assert view.bus_qd is case9.bus_qd
+        assert view.gen_pmax is case9.gen_pmax
+        assert view.buses is case9.buses
+        # the original is untouched
+        assert not np.array_equal(case9.bus_pd, new_pd)
+
+    def test_shape_mismatch_rejected(self, case9):
+        with pytest.raises(DataError):
+            case9.with_array_overrides(bus_pd=np.zeros(case9.n_bus + 1))
+        with pytest.raises(DataError):
+            case9.with_array_overrides(gen_pmin=np.zeros(case9.n_gen + 2))
+
+    def test_view_matches_with_scaled_loads_bitwise(self, case9):
+        factor = 1.037
+        pd_mw = np.array([bus.pd for bus in case9.buses])
+        qd_mw = np.array([bus.qd for bus in case9.buses])
+        view = case9.with_array_overrides(
+            bus_pd=(pd_mw * factor) / case9.base_mva,
+            bus_qd=(qd_mw * factor) / case9.base_mva)
+        rebuilt = case9.with_scaled_loads(factor)
+        assert np.array_equal(view.bus_pd, rebuilt.bus_pd)
+        assert np.array_equal(view.bus_qd, rebuilt.bus_qd)
+
+
+# --------------------------------------------------------------------- #
+# Input validation and generators                                         #
+# --------------------------------------------------------------------- #
+class TestInputs:
+    def test_duplicate_scenario_names_rejected(self, case9):
+        fleet = ScenarioSet.from_networks([case9, case9], names=["a", "a"])
+        with pytest.raises(ConfigurationError):
+            track_horizon_batch(fleet, make_load_profile(n_periods=2))
+
+    def test_profile_count_mismatch_rejected(self, case9):
+        fleet = tracking_fleet(case9, "load", 2)
+        with pytest.raises(ConfigurationError):
+            track_horizon_batch(fleet, [make_load_profile(n_periods=2)])
+
+    def test_profile_length_mismatch_rejected(self, case9):
+        fleet = tracking_fleet(case9, "load", 2)
+        profiles = [make_load_profile(n_periods=2),
+                    make_load_profile(n_periods=3)]
+        with pytest.raises(ConfigurationError):
+            track_horizon_batch(fleet, profiles)
+
+    def test_non_profile_rejected(self, case9):
+        with pytest.raises(ConfigurationError):
+            track_horizon_batch(case9, [np.arange(3)])
+
+    def test_per_scenario_profiles(self, case9):
+        params = quick_params(case9)
+        fleet = tracking_fleet(case9, "load", 2, spread=0.02)
+        profiles = [make_load_profile(n_periods=2, seed=1),
+                    make_load_profile(n_periods=2, seed=2)]
+        result = track_horizon_batch(fleet, profiles, params=params)
+        assert result.periods[1].multipliers[0] != result.periods[1].multipliers[1]
+
+
+class TestGenerators:
+    def test_tracking_fleet_kinds(self, case9):
+        load = tracking_fleet(case9, "load", 3, spread=0.1)
+        assert len(load) == 3
+        n1 = tracking_fleet(case9, "n-1", 3)
+        assert len(n1) == 3
+        assert n1.scenarios[0].name.endswith("@base")
+        mc = tracking_fleet(case9, "monte-carlo", 3, sigma=0.02, seed=4)
+        assert len(mc) == 3
+        with pytest.raises(ConfigurationError):
+            tracking_fleet(case9, "bogus")
+        with pytest.raises(ConfigurationError):
+            tracking_fleet(case9, "load", 0)
+        with pytest.raises(DataError):
+            tracking_fleet(case9, "n-1", 99)
+
+    def test_period_scenario_sets_expand_profile(self, case9):
+        fleet = tracking_fleet(case9, "load", 2, spread=0.1)
+        profile = make_load_profile(n_periods=3, seed=0)
+        sets = period_scenario_sets(fleet, profile)
+        assert len(sets) == 3
+        assert all(len(s) == 2 for s in sets)
+        # period t scales the base scenario loads by the period multiplier
+        expected = fleet.scenarios[0].network.bus_pd * profile.multiplier(2)
+        assert np.allclose(sets[2].scenarios[0].network.bus_pd, expected)
+        with pytest.raises(ConfigurationError):
+            period_scenario_sets(fleet, [profile])
+
+
+# --------------------------------------------------------------------- #
+# Result container                                                        #
+# --------------------------------------------------------------------- #
+class TestBatchHorizonResult:
+    def test_empty_result_totals(self):
+        result = BatchHorizonResult(scenario_names=["a"], warm_start=True)
+        assert result.total_inner_iterations == 0
+        assert result.total_seconds == 0.0
+        assert result.n_periods == 0
+
+    def test_series_shapes(self, case9):
+        params = quick_params(case9)
+        fleet = tracking_fleet(case9, "load", 2, spread=0.03)
+        result = track_horizon_batch(fleet, make_load_profile(n_periods=2),
+                                     params=params)
+        assert result.objectives.shape == (2, 2)
+        assert result.violations.shape == (2, 2)
+        assert result.iterations.shape == (2, 2)
+        assert result.cumulative_seconds.shape == (2,)
+        assert np.all(np.diff(result.cumulative_seconds) >= 0)
