@@ -78,10 +78,38 @@ def write_bench_json(path: Path, payload: dict, workers: int = 1) -> Path:
     return path
 
 
+def merge_bench_json(path: Path, payload: dict, workers: int = 1) -> Path:
+    """Like :func:`write_bench_json`, but keep keys an earlier benchmark wrote.
+
+    Several benchmarks contribute to one artifact (``BENCH_pool.json`` holds
+    the throughput sweep *and* the fault-tolerance overhead), and pytest's
+    collection order must not decide which contribution survives: the new
+    payload is overlaid on whatever the file already holds, and only the
+    provenance stamp is re-taken by the newest writer.
+    """
+    path = Path(path)
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    merged = {**existing, **payload}
+    for stamp in ("git_sha", "worker_count", "smoke_mode"):
+        merged.pop(stamp, None)
+    return write_bench_json(path, merged, workers=workers)
+
+
 @pytest.fixture(scope="session")
 def bench_writer():
     """Fixture view of :func:`write_bench_json` for the benchmark tests."""
     return write_bench_json
+
+
+@pytest.fixture(scope="session")
+def bench_merger():
+    """Fixture view of :func:`merge_bench_json` for shared artifacts."""
+    return merge_bench_json
 
 
 @pytest.fixture(scope="session")

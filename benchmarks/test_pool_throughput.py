@@ -68,7 +68,7 @@ def assert_identical(pooled, reference) -> None:
         assert np.array_equal(a.qg, b.qg)
 
 
-def test_pool_scaling_on_heterogeneous_n1_batch(benchmark, smoke, bench_writer):
+def test_pool_scaling_on_heterogeneous_n1_batch(benchmark, smoke, bench_merger):
     scenario_set = heterogeneous_n1_batch()
     if smoke:
         params = parameters_for_case(load_case(CASE), max_outer=2, max_inner=12,
@@ -131,7 +131,7 @@ def test_pool_scaling_on_heterogeneous_n1_batch(benchmark, smoke, bench_writer):
         f"1-worker {base.makespan_seconds:.2f}s "
         f"({speedup:.2f}x, required ≥ {required}x)")
 
-    bench_writer(RESULT_PATH, {
+    bench_merger(RESULT_PATH, {
         "benchmark": "pool_throughput",
         "case": CASE,
         "scenarios": [s.name for s in scenario_set.scenarios],

@@ -45,7 +45,13 @@ from repro.scenarios import (
     period_scenario_sets,
     tracking_fleet,
 )
-from repro.parallel import DevicePool, PoolReport, solve_acopf_admm_pool
+from repro.parallel import (
+    DevicePool,
+    FaultPlan,
+    FaultSpec,
+    PoolReport,
+    solve_acopf_admm_pool,
+)
 from repro.tracking import (
     WarmStartCache,
     make_load_profile,
@@ -62,6 +68,8 @@ __all__ = [
     "solve_acopf_admm",
     "BatchAdmmSolver",
     "DevicePool",
+    "FaultPlan",
+    "FaultSpec",
     "PoolReport",
     "solve_acopf_admm_batch",
     "solve_acopf_admm_pool",

@@ -12,8 +12,10 @@ wall-clock time so benchmarks can report the breakdown the paper discusses
 
 from repro.parallel.compaction import ActiveSet, Workspace, compaction_enabled
 from repro.parallel.device import KernelRecord, SimulatedDevice, merge_device_dicts
+from repro.parallel.faults import FaultCommand, FaultPlan, FaultSpec
 from repro.parallel.kernels import elementwise_kernel, launch_over_elements
 from repro.parallel.pool import (
+    ChunkFailure,
     DevicePool,
     PoolExecutionError,
     PoolReport,
@@ -22,7 +24,11 @@ from repro.parallel.pool import (
 
 __all__ = [
     "ActiveSet",
+    "ChunkFailure",
     "DevicePool",
+    "FaultCommand",
+    "FaultPlan",
+    "FaultSpec",
     "KernelRecord",
     "PoolExecutionError",
     "PoolReport",

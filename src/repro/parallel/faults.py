@@ -1,0 +1,252 @@
+"""Deterministic fault injection for the :class:`~repro.parallel.pool.DevicePool`.
+
+Fault tolerance is only trustworthy if every recovery path is *exercised*,
+not just written: a worker raising mid-shard, a worker process dying
+outright, a worker stalling past its chunk deadline, a scenario that fails
+once and then succeeds.  This module provides the scripted failures that
+make those paths testable — deterministically, on both pool executors, and
+from CI via an environment knob.
+
+A :class:`FaultPlan` is consulted by the **parent** scheduler at dispatch
+time: the parent tracks how many chunks each worker has received and asks
+the plan whether this dispatch should be sabotaged.  Keeping the decision
+parent-side makes the schedule exact regardless of worker respawns (a
+respawned process has no memory of earlier chunks) and lets the in-process
+sequential executor *simulate* the same crash/stall faults it cannot
+physically perform.  The decision itself travels to the worker as a tiny
+picklable :class:`FaultCommand` riding the dispatch envelope, where the
+process executor performs it for real: ``raise`` raises, ``crash`` calls
+``os._exit``, ``stall`` sleeps before solving.
+
+Plans are built three ways:
+
+* explicitly — ``FaultPlan([FaultSpec("crash", worker=1, chunk=2)])``;
+* seeded — ``FaultPlan.seeded(seed=7, rate=0.05)`` fires pseudo-randomly
+  but reproducibly (the draw is a pure function of ``(seed, worker,
+  chunk)``, so the same plan replays the same faults);
+* from the environment — ``REPRO_FAULT_PLAN`` parses a compact spec string
+  (see :meth:`FaultPlan.parse`), which is how the CI fault-injection leg
+  scripts crashes without touching code::
+
+      REPRO_FAULT_PLAN="crash(worker=1,chunk=2);stall(worker=0,chunk=3,seconds=2)"
+
+A plan is stateful on the parent side (each spec remembers how often it has
+fired, so ``times=1`` means "once per plan lifetime" — across every solve
+that shares the plan, which is what lets one fault hit mid-horizon in a
+tracking run).  Call :meth:`FaultPlan.reset` to rearm a plan for reuse.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Environment variable holding a parseable fault-plan spec (see module doc).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Fault kinds a plan may schedule.
+FAULT_KINDS = ("raise", "crash", "stall")
+
+
+@dataclass(frozen=True)
+class FaultCommand:
+    """The worker-side payload of one scheduled fault (picklable).
+
+    ``kind`` is one of :data:`FAULT_KINDS`; ``seconds`` is the stall
+    duration (ignored for the other kinds).
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted failure: *what* goes wrong, *where*, and *how often*.
+
+    Match fields that are ``None`` match anything; a dispatch must satisfy
+    every non-``None`` field for the spec to fire.  ``chunk`` counts the
+    matched worker's dispatches from 1 (cumulative across respawns — the
+    parent keeps the count, so "worker 1's 2nd chunk" is exact even if the
+    first chunk killed the process).  ``scenario`` matches any chunk
+    containing that *global* scenario index — the idiom for "scenario 5
+    raises once then succeeds" (``times=1`` stops it firing on the replay).
+    """
+
+    kind: str
+    worker: int | None = None     # dispatch target (None = any worker)
+    chunk: int | None = None      # 1-based dispatch ordinal of that worker
+    scenario: int | None = None   # global scenario id carried by the chunk
+    times: int = 1                # total firings before the spec disarms
+    seconds: float = 1.0          # stall duration (kind == "stall")
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}")
+        if self.times < 1:
+            raise ConfigurationError("fault times must be at least 1")
+        if self.seconds < 0:
+            raise ConfigurationError("stall seconds must be non-negative")
+
+    def matches(self, worker: int, chunk: int, indices) -> bool:
+        if self.worker is not None and worker != self.worker:
+            return False
+        if self.chunk is not None and chunk != self.chunk:
+            return False
+        if self.scenario is not None and self.scenario not in indices:
+            return False
+        return True
+
+    def command(self) -> FaultCommand:
+        return FaultCommand(kind=self.kind, seconds=self.seconds)
+
+
+_SPEC_PATTERN = re.compile(r"^\s*(?P<kind>[a-z]+)\s*(?:\(\s*(?P<args>[^)]*)\)\s*)?$")
+
+#: keys a spec-string entry may carry, with their coercions
+_SPEC_KEYS = {"worker": int, "chunk": int, "scenario": int, "times": int,
+              "seconds": float, "seed": int, "rate": float}
+
+
+class FaultPlan:
+    """A schedule of scripted faults, consulted at every pool dispatch.
+
+    Parameters
+    ----------
+    specs:
+        Explicit :class:`FaultSpec` entries (checked in order; the first
+        armed spec that matches a dispatch fires).
+    seed, rate:
+        Optional seeded background noise: each dispatch additionally fires
+        a pseudo-random fault with probability ``rate``.  The draw depends
+        only on ``(seed, worker, chunk)``, so a seeded plan is exactly as
+        reproducible as an explicit one.
+    kinds:
+        The fault kinds the seeded mode draws from (default ``("raise",)``
+        — the mildest failure; include ``"crash"``/``"stall"`` to exercise
+        respawn and deadline recovery randomly).
+    stall_seconds:
+        Stall duration used by seeded ``"stall"`` draws.
+    """
+
+    def __init__(self, specs=(), *, seed: int | None = None, rate: float = 0.0,
+                 kinds=("raise",), stall_seconds: float = 1.0) -> None:
+        self.specs = tuple(specs)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("fault rate must be in [0, 1]")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        self.seed = seed
+        self.rate = float(rate)
+        self.kinds = tuple(kinds)
+        self.stall_seconds = float(stall_seconds)
+        self._fired = [0] * len(self.specs)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def seeded(cls, seed: int, rate: float = 0.05, kinds=("raise",),
+               stall_seconds: float = 1.0) -> "FaultPlan":
+        """A purely pseudo-random (but reproducible) plan."""
+        return cls((), seed=seed, rate=rate, kinds=kinds,
+                   stall_seconds=stall_seconds)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a compact spec string.
+
+        Grammar: semicolon-separated entries ``kind(key=value, ...)``.
+        Entry kinds are :data:`FAULT_KINDS` plus ``seeded`` (which takes
+        ``seed=``/``rate=``/``seconds=`` and turns on the random mode)::
+
+            crash(worker=1,chunk=2); stall(worker=0,chunk=3,seconds=2);
+            raise(scenario=5,times=1); seeded(seed=7,rate=0.02)
+        """
+        specs: list[FaultSpec] = []
+        seed, rate, stall_seconds = None, 0.0, 1.0
+        for entry in text.split(";"):
+            if not entry.strip():
+                continue
+            match = _SPEC_PATTERN.match(entry.strip())
+            if match is None:
+                raise ConfigurationError(
+                    f"unparseable fault spec entry {entry.strip()!r} "
+                    "(expected kind(key=value,...))")
+            kind = match.group("kind")
+            kwargs = {}
+            for item in (match.group("args") or "").split(","):
+                if not item.strip():
+                    continue
+                if "=" not in item:
+                    raise ConfigurationError(
+                        f"fault spec argument {item.strip()!r} is not key=value")
+                key, _, value = item.partition("=")
+                key = key.strip()
+                if key not in _SPEC_KEYS:
+                    raise ConfigurationError(
+                        f"unknown fault spec key {key!r}; choose from "
+                        f"{sorted(_SPEC_KEYS)}")
+                try:
+                    kwargs[key] = _SPEC_KEYS[key](value.strip())
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault spec key {key!r} has non-numeric value "
+                        f"{value.strip()!r}") from None
+            if kind == "seeded":
+                seed = kwargs.get("seed", 0)
+                rate = kwargs.get("rate", 0.05)
+                stall_seconds = kwargs.get("seconds", 1.0)
+            elif kind in FAULT_KINDS:
+                kwargs.pop("seed", None)
+                kwargs.pop("rate", None)
+                specs.append(FaultSpec(kind=kind, **kwargs))
+            else:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; choose from "
+                    f"{FAULT_KINDS + ('seeded',)}")
+        return cls(specs, seed=seed, rate=rate, stall_seconds=stall_seconds)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The plan scripted by ``REPRO_FAULT_PLAN``, or ``None`` if unset."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(FAULT_PLAN_ENV, "").strip()
+        return cls.parse(text) if text else None
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Rearm every spec (forget parent-side fire counts)."""
+        self._fired = [0] * len(self.specs)
+
+    @property
+    def n_fired(self) -> int:
+        return sum(self._fired)
+
+    def draw(self, worker: int, chunk: int, indices) -> FaultCommand | None:
+        """The fault this dispatch suffers, or ``None``.
+
+        ``chunk`` is the 1-based cumulative dispatch ordinal of ``worker``;
+        ``indices`` the global scenario ids in the chunk.  Explicit specs
+        are consulted first (in order), then the seeded draw.
+        """
+        for k, spec in enumerate(self.specs):
+            if self._fired[k] < spec.times and spec.matches(worker, chunk, indices):
+                self._fired[k] += 1
+                return spec.command()
+        if self.seed is not None and self.rate > 0.0:
+            rng = np.random.default_rng([self.seed, worker, chunk])
+            if rng.random() < self.rate:
+                kind = self.kinds[int(rng.integers(len(self.kinds)))]
+                return FaultCommand(kind=kind, seconds=self.stall_seconds)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        seeded = f", seed={self.seed}, rate={self.rate}" if self.seed is not None else ""
+        return f"FaultPlan({list(self.specs)}{seeded})"

@@ -21,6 +21,24 @@ worker whose shard freezes early (cheap scenarios converge first — exactly
 the heterogeneity stream compaction exposes) *steals* pending scenarios
 from the most-loaded shard instead of going dark.
 
+**Fault tolerance.**  A long-lived fleet must survive its own workers.
+With ``on_failure="retry"`` (or ``"partial"``), a chunk lost to a worker
+exception, a worker-process death, or a stalled worker blowing its
+``chunk_timeout`` is *replayed*: the parent requeues the lost scenario
+indices into the scheduler (split in half when the chunk carried more than
+one scenario, so a poison scenario isolates itself on replay), bounded by a
+per-scenario ``max_retries`` budget; a dead or stalled worker process is
+respawned on the same queues — with exponential backoff — up to a
+``max_respawns`` budget.  Because scenarios never couple and warm states
+live with the parent (they ship inside every dispatched
+:class:`~repro.admm.batch_solver.ShardTask`), a replayed scenario's
+trajectory is bit-for-bit the one a failure-free run produces — recovery
+changes *where and when* a scenario runs, never its arithmetic.  The
+default ``on_failure="raise"`` keeps the fail-fast semantics: any chunk
+failure aborts the solve and surfaces every failed chunk in one aggregated
+:class:`PoolExecutionError`.  Deterministic fault injection for tests and
+CI lives in :mod:`repro.parallel.faults` (``REPRO_FAULT_PLAN``).
+
 Because scenarios never couple, every per-scenario trajectory is bit-for-bit
 the one the single-device batched solve (and the standalone sequential
 solve) produces — sharding only changes *where* a scenario runs.
@@ -38,7 +56,6 @@ same simulated-hardware viewpoint as ``SimulatedDevice`` itself).
 from __future__ import annotations
 
 import os
-import queue as queue_module
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -47,6 +64,7 @@ from typing import Any, Callable, Sequence
 from repro.exceptions import ConfigurationError, ReproError
 from repro.logging_utils import get_logger
 from repro.parallel.device import merge_device_dicts
+from repro.parallel.faults import FaultCommand, FaultPlan
 from repro.scenarios import ScenarioSet, as_scenario_set, partition_costs
 
 LOGGER = get_logger("parallel.pool")
@@ -57,33 +75,76 @@ EXECUTORS = ("process", "sequential")
 #: Placement policies for the initial shard partition.
 PLACEMENTS = ("cost", "count")
 
+#: Failure policies: fail fast, replay lost chunks, or return what solved.
+ON_FAILURE = ("raise", "retry", "partial")
+
 
 class PoolExecutionError(ReproError):
-    """A worker failed while solving a shard.
+    """One or more workers failed while solving their shards.
 
-    Carries the global indices and names of the scenarios in the failing
-    chunk plus the worker-side traceback, so the offending scenario is
-    identifiable without digging through worker logs.
+    Carries the global indices and names of every failed scenario plus the
+    per-chunk :class:`ChunkFailure` records (worker-side traceback, failure
+    kind, attempt number), so the offending scenarios are identifiable
+    without digging through worker logs.  With ``on_failure="retry"`` the
+    failures listed are the ones whose retry budget was exhausted.
     """
 
     def __init__(self, message: str, *, worker: int | None = None,
                  indices: tuple[int, ...] = (),
-                 scenario_names: tuple[str, ...] = ()) -> None:
+                 scenario_names: tuple[str, ...] = (),
+                 failures: tuple["ChunkFailure", ...] = ()) -> None:
         super().__init__(message)
         self.worker = worker
         self.indices = indices
         self.scenario_names = scenario_names
+        self.failures = failures
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One failed chunk dispatch: who lost what, how, on which attempt.
+
+    ``kind`` is ``"error"`` (the worker raised), ``"death"`` (the worker
+    process died without reporting), ``"timeout"`` (the worker stalled past
+    the chunk deadline and was terminated), or ``"lost"`` (no worker was
+    left alive to run the chunk).  ``attempt`` is how many failures the
+    chunk's scenarios had already suffered when this dispatch went out
+    (0 = first try).
+    """
+
+    worker: int
+    indices: tuple[int, ...]
+    scenario_names: tuple[str, ...]
+    kind: str
+    detail: str
+    attempt: int = 0
+
+    def describe(self) -> str:
+        listing = ", ".join(f"{i}:{name}"
+                            for i, name in zip(self.indices, self.scenario_names))
+        return (f"worker {self.worker} failed on scenarios [{listing}] "
+                f"({self.kind}, attempt {self.attempt}): {self.detail}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"worker": self.worker, "indices": list(self.indices),
+                "scenario_names": list(self.scenario_names), "kind": self.kind,
+                "attempt": self.attempt, "detail": self.detail}
 
 
 @dataclass(frozen=True)
 class ChunkRecord:
-    """One dispatched chunk: which worker solved which scenarios."""
+    """One dispatched chunk: which worker solved which scenarios.
+
+    ``attempt`` counts prior failures of the chunk's scenarios — a non-zero
+    value marks a successful *replay* of work a failure lost.
+    """
 
     worker: int
     indices: tuple[int, ...]
     origin: int
     stolen: bool
     seconds: float
+    attempt: int = 0
 
 
 @dataclass
@@ -104,6 +165,17 @@ class WorkerStats:
 
 
 @dataclass
+class _RecoveryState:
+    """Executor-side accounting of the fault-tolerance machinery."""
+
+    retries: int = 0                 # replayed chunk dispatches enqueued
+    respawns: int = 0                # worker processes respawned (or simulated)
+    replayed: set[int] = field(default_factory=set)   # scenarios replayed
+    failures: list[ChunkFailure] = field(default_factory=list)
+    failed: dict[int, ChunkFailure] = field(default_factory=dict)  # terminal
+
+
+@dataclass
 class PoolReport:
     """Merged result of one pooled solve.
 
@@ -111,7 +183,11 @@ class PoolReport:
     solved what; ``makespan_seconds`` is the simulated multi-device
     wall-clock (max per-worker busy time), ``total_busy_seconds`` the
     serial-equivalent work, and ``device`` the fleet-wide merged kernel
-    metrics.
+    metrics.  The recovery counters (``retries``, ``respawns``,
+    ``replayed_scenarios``, ``failures``) stay zero / empty on a
+    failure-free run; ``failed_scenarios`` is only ever non-empty with
+    ``on_failure="partial"``, where the corresponding ``solutions`` entries
+    are ``None``.
     """
 
     solutions: list
@@ -124,10 +200,19 @@ class PoolReport:
     chunks: list[ChunkRecord] = field(default_factory=list)
     workers: list[WorkerStats] = field(default_factory=list)
     device: dict[str, Any] = field(default_factory=dict)
+    retries: int = 0
+    respawns: int = 0
+    replayed_scenarios: tuple[int, ...] = ()
+    failed_scenarios: tuple[int, ...] = ()
+    failures: list[ChunkFailure] = field(default_factory=list)
 
     @property
     def n_steals(self) -> int:
         return sum(1 for chunk in self.chunks if chunk.stolen)
+
+    @property
+    def n_replayed(self) -> int:
+        return len(self.replayed_scenarios)
 
     @property
     def scenario_workers(self) -> dict[int, int]:
@@ -158,9 +243,15 @@ class PoolReport:
             "total_busy_seconds": self.total_busy_seconds,
             "parallel_speedup": self.parallel_speedup,
             "n_steals": self.n_steals,
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "replayed_scenarios": list(self.replayed_scenarios),
+            "failed_scenarios": list(self.failed_scenarios),
+            "failures": [f.as_dict() for f in self.failures],
             "chunks": [{"worker": c.worker, "indices": list(c.indices),
                         "origin": c.origin, "stolen": c.stolen,
-                        "seconds": c.seconds} for c in self.chunks],
+                        "seconds": c.seconds, "attempt": c.attempt}
+                       for c in self.chunks],
             "workers": [w.as_dict() for w in self.workers],
             "device": self.device,
         }
@@ -170,11 +261,13 @@ class _StealScheduler:
     """Parent-side work queue: per-shard pending scenarios plus stealing.
 
     ``pending[w]`` holds shard ``w``'s not-yet-dispatched scenario ids in
-    ascending order.  ``next_chunk(w)`` serves worker ``w`` from its own
-    shard first; once that is empty it steals from the tail of the shard
-    with the largest remaining cost, provided the victim still has at least
-    ``steal_threshold`` pending scenarios (below that, the owner finishes
-    its own tail and stealing would only shuffle work around).
+    ascending order.  ``next_chunk(w)`` serves worker ``w`` from the replay
+    queue first (chunks a failure handed back — any worker may run them),
+    then from its own shard; once that is empty it steals from the tail of
+    the shard with the largest remaining cost, provided the victim still
+    has at least ``steal_threshold`` pending scenarios (below that, the
+    owner finishes its own tail and stealing would only shuffle work
+    around).
     """
 
     def __init__(self, shards: Sequence[Sequence[int]], costs: Sequence[float],
@@ -183,6 +276,8 @@ class _StealScheduler:
         self.costs = list(costs)
         self.chunk = max(1, int(chunk_scenarios))
         self.steal_threshold = max(1, int(steal_threshold))
+        #: chunks a failure requeued, servable by any worker before shard work
+        self.replay: deque[tuple[tuple[int, ...], int]] = deque()
 
     def remaining_cost(self, shard: int) -> float:
         return sum(self.costs[i] for i in self.pending[shard])
@@ -191,8 +286,59 @@ class _StealScheduler:
     def n_pending(self) -> int:
         return sum(len(p) for p in self.pending)
 
+    @property
+    def has_work(self) -> bool:
+        return bool(self.replay) or self.n_pending > 0
+
+    @property
+    def has_replay(self) -> bool:
+        return bool(self.replay)
+
+    def requeue(self, indices: Sequence[int], origin: int,
+                split: bool = True) -> None:
+        """Hand a lost chunk's scenarios back for replay.
+
+        With ``split`` (default), a multi-scenario chunk is replayed as two
+        halves so a poison scenario bisects itself out of healthy company
+        within ``O(log chunk)`` retries.
+        """
+        indices = tuple(indices)
+        if split and len(indices) > 1:
+            mid = (len(indices) + 1) // 2
+            self.replay.append((indices[:mid], origin))
+            self.replay.append((indices[mid:], origin))
+        elif indices:
+            self.replay.append((indices, origin))
+
+    def orphan(self, shard: int) -> None:
+        """Move a permanently dead owner's pending work to the replay queue.
+
+        Idle workers only steal from shards above ``steal_threshold``; a
+        shard whose worker is gone for good must not strand its tail behind
+        that rule, so its chunks become replay work any survivor may take.
+        """
+        queue = self.pending[shard]
+        while queue:
+            take = tuple(queue.popleft()
+                         for _ in range(min(self.chunk, len(queue))))
+            self.replay.append((take, shard))
+
+    def drain(self) -> list[tuple[tuple[int, ...], int]]:
+        """Pop every unserved chunk — the run is over, account them lost."""
+        items = list(self.replay)
+        self.replay.clear()
+        for shard, queue in enumerate(self.pending):
+            while queue:
+                take = tuple(queue.popleft()
+                             for _ in range(min(self.chunk, len(queue))))
+                items.append((take, shard))
+        return items
+
     def next_chunk(self, worker: int) -> tuple[tuple[int, ...], int, bool] | None:
         """``(indices, origin_shard, stolen)`` for ``worker``, or ``None``."""
+        if self.replay:
+            indices, origin = self.replay.popleft()
+            return indices, origin, False
         own = self.pending[worker]
         if own:
             take = tuple(own.popleft() for _ in range(min(self.chunk, len(own))))
@@ -242,28 +388,81 @@ class DevicePool:
         :class:`~repro.admm.batch_solver.ShardResult`.  Defaults to
         :func:`~repro.admm.batch_solver.solve_scenario_shard`; tests inject
         failing stand-ins here.
+    on_failure:
+        ``"raise"`` (default) keeps fail-fast semantics: any chunk failure
+        aborts the solve and raises one :class:`PoolExecutionError`
+        aggregating *every* failed chunk.  ``"retry"`` replays lost chunks
+        within the retry/respawn budgets and raises only once a scenario's
+        budget is exhausted.  ``"partial"`` is ``"retry"`` that never
+        raises: budget-exhausted scenarios come back as ``None`` solutions,
+        marked in :attr:`PoolReport.failed_scenarios`.
+    max_retries:
+        Per-scenario failure budget under ``"retry"``/``"partial"``: a
+        scenario may fail this many times and still be replayed; one more
+        failure makes it terminal (default 2).
+    max_respawns:
+        Pool-wide budget of worker-process respawns after deaths/timeouts
+        (default 2).  A worker lost beyond the budget stays dead and its
+        pending shard is redistributed to the survivors.
+    chunk_timeout:
+        Wall-clock seconds a dispatched chunk may run before its worker is
+        declared lost, terminated, and the chunk replayed (default
+        ``None``: no deadline).  The process executor enforces it for
+        real; the sequential executor cannot interrupt itself and applies
+        it only to injected stalls.
+    respawn_backoff:
+        Base seconds of the exponential backoff before respawning a lost
+        worker (``backoff · 2^k`` for that worker's ``k``-th respawn;
+        default 0.1).
+    fault_plan:
+        A :class:`~repro.parallel.faults.FaultPlan` of scripted failures,
+        consulted at every dispatch (default: the plan scripted by the
+        ``REPRO_FAULT_PLAN`` environment variable, or none).  Injection is
+        parent-side deterministic, so both executors replay identical
+        fault schedules.
     """
 
     def __init__(self, n_workers: int | None = None, executor: str = "process",
                  placement: str = "cost", chunk_scenarios: int | None = None,
                  steal_threshold: int = 1, start_method: str | None = None,
-                 solve_fn: Callable | None = None) -> None:
+                 solve_fn: Callable | None = None, on_failure: str = "raise",
+                 max_retries: int = 2, max_respawns: int = 2,
+                 chunk_timeout: float | None = None,
+                 respawn_backoff: float = 0.1,
+                 fault_plan: FaultPlan | None = None) -> None:
         if executor not in EXECUTORS:
             raise ConfigurationError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}")
         if placement not in PLACEMENTS:
             raise ConfigurationError(
                 f"unknown placement {placement!r}; choose from {PLACEMENTS}")
+        if on_failure not in ON_FAILURE:
+            raise ConfigurationError(
+                f"unknown on_failure {on_failure!r}; choose from {ON_FAILURE}")
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError("n_workers must be at least 1")
         if chunk_scenarios is not None and chunk_scenarios < 1:
             raise ConfigurationError("chunk_scenarios must be at least 1")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if max_respawns < 0:
+            raise ConfigurationError("max_respawns must be non-negative")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ConfigurationError("chunk_timeout must be positive")
+        if respawn_backoff < 0:
+            raise ConfigurationError("respawn_backoff must be non-negative")
         self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         self.executor = executor
         self.placement = placement
         self.chunk_scenarios = chunk_scenarios
         self.steal_threshold = steal_threshold
         self.start_method = start_method
+        self.on_failure = on_failure
+        self.max_retries = max_retries
+        self.max_respawns = max_respawns
+        self.chunk_timeout = chunk_timeout
+        self.respawn_backoff = respawn_backoff
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._solve_fn = solve_fn
 
     # ------------------------------------------------------------------ #
@@ -281,7 +480,9 @@ class DevicePool:
         ships its scenarios' states inside the
         :class:`~repro.admm.batch_solver.ShardTask`, so warm starts survive
         process boundaries — and travel with a *stolen* scenario to the
-        thief.
+        thief.  Because the states live with the parent, they also survive
+        a worker death: a replayed chunk re-ships them, which is what makes
+        a recovered solve bitwise identical to a failure-free one.
 
         ``affinity`` switches the initial partition to **persistent
         placement**: a sequence (or ``{index: worker}`` mapping) of
@@ -292,6 +493,11 @@ class DevicePool:
         This is what keeps a warm-started tracking scenario on the worker
         already holding its state; work stealing still rebalances — the
         state simply ships with the stolen chunk.
+
+        Failure semantics follow ``on_failure`` (see the class docstring):
+        fail fast with an aggregated :class:`PoolExecutionError`, replay
+        within budgets, or return a partial report with ``None`` solutions
+        for the scenarios whose budgets ran out.
         """
         scenario_set = as_scenario_set(scenarios)
         n_scenarios = len(scenario_set)
@@ -321,12 +527,16 @@ class DevicePool:
             result = self._run_sequential(scenario_set, params, time_limit,
                                           scheduler, workers, warm_states)
         else:
-            result = self._run_processes(scenario_set, params, time_limit,
-                                         scheduler, workers, warm_states)
-        solutions, chunks, worker_devices = result
+            run = _ProcessRun(self, scenario_set, params, time_limit,
+                              scheduler, workers, warm_states)
+            result = run.run()
+        solutions, chunks, worker_devices, recovery = result
         wall = time.perf_counter() - start
 
-        missing = [s for s, solution in enumerate(solutions) if solution is None]
+        if recovery.failed and self.on_failure != "partial":
+            raise self._failure_error(recovery)
+        missing = [s for s, solution in enumerate(solutions)
+                   if solution is None and s not in recovery.failed]
         if missing:
             raise PoolExecutionError(
                 f"pool finished without solutions for scenarios {missing}",
@@ -355,6 +565,11 @@ class DevicePool:
             workers=stats,
             device=merge_device_dicts((s.device for s in stats if s.device),
                                       name=f"pool[{workers}]"),
+            retries=recovery.retries,
+            respawns=recovery.respawns,
+            replayed_scenarios=tuple(sorted(recovery.replayed)),
+            failed_scenarios=tuple(sorted(recovery.failed)),
+            failures=list(recovery.failures),
         )
 
     # ------------------------------------------------------------------ #
@@ -414,14 +629,68 @@ class DevicePool:
                          else tuple(warm_states[i] for i in indices)),
             device_name=f"worker{worker}")
 
+    def _chunk_failure(self, scenario_set: ScenarioSet, worker: int,
+                       indices: tuple[int, ...], kind: str, detail: str,
+                       attempt: int) -> ChunkFailure:
+        return ChunkFailure(
+            worker=worker, indices=tuple(indices),
+            scenario_names=tuple(scenario_set[i].name for i in indices),
+            kind=kind, detail=detail, attempt=attempt)
+
     @staticmethod
-    def _chunk_error(scenario_set: ScenarioSet, worker: int,
-                     indices: tuple[int, ...], detail: str) -> PoolExecutionError:
-        names = tuple(scenario_set[i].name for i in indices)
-        listing = ", ".join(f"{i}:{name}" for i, name in zip(indices, names))
+    def _failure_error(recovery: _RecoveryState) -> PoolExecutionError:
+        """Aggregate *every* failed chunk into one raisable error."""
+        failed = tuple(sorted(recovery.failed))
+        names = tuple(
+            recovery.failed[i].scenario_names[recovery.failed[i].indices.index(i)]
+            for i in failed)
+        lines = "\n".join(f.describe() for f in recovery.failures)
+        workers = {f.worker for f in recovery.failures}
+        message = (f"{len(failed)} scenario(s) failed across "
+                   f"{len(recovery.failures)} chunk failure(s):\n{lines}")
         return PoolExecutionError(
-            f"worker {worker} failed on scenarios [{listing}]\n{detail}",
-            worker=worker, indices=indices, scenario_names=names)
+            message,
+            worker=workers.pop() if len(workers) == 1 else None,
+            indices=failed, scenario_names=names,
+            failures=tuple(recovery.failures))
+
+    def _register_failure(self, recovery: _RecoveryState,
+                          scheduler: _StealScheduler,
+                          failure: ChunkFailure, origin: int,
+                          attempts: dict[int, int]) -> bool:
+        """Account one failed chunk; requeue survivors.  True = abort run."""
+        recovery.failures.append(failure)
+        LOGGER.warning("pool: %s", failure.describe())
+        if self.on_failure == "raise":
+            for i in failure.indices:
+                recovery.failed[i] = failure
+            return True
+        survivors, exhausted = [], []
+        for i in failure.indices:
+            attempts[i] = attempts.get(i, 0) + 1
+            (survivors if attempts[i] <= self.max_retries else exhausted).append(i)
+        for i in exhausted:
+            recovery.failed[i] = failure
+        if survivors:
+            scheduler.requeue(tuple(survivors), origin)
+            recovery.retries += 1
+            recovery.replayed.update(survivors)
+            LOGGER.info("pool: replaying scenarios %s (attempt %d)",
+                        survivors, max(attempts[i] for i in survivors))
+        return False
+
+    def _drain_lost(self, recovery: _RecoveryState, scheduler: _StealScheduler,
+                    scenario_set: ScenarioSet, attempts: dict[int, int]) -> None:
+        """No runnable worker left: everything unserved is terminally lost."""
+        for indices, origin in scheduler.drain():
+            failure = self._chunk_failure(
+                scenario_set, origin, indices, "lost",
+                "no workers left alive to run the chunk "
+                "(respawn budget exhausted)",
+                max((attempts.get(i, 0) for i in indices), default=0))
+            recovery.failures.append(failure)
+            for i in indices:
+                recovery.failed[i] = failure
 
     # ------------------------------------------------------------------ #
     def _run_sequential(self, scenario_set: ScenarioSet, params,
@@ -433,158 +702,493 @@ class DevicePool:
         contention-free; dispatch order follows the simulated clocks (the
         worker with the least accumulated busy time is served next), which
         reproduces the process executor's scheduling decisions
-        deterministically.
+        deterministically.  Fault recovery is simulated in-process: an
+        injected ``crash`` plays as a worker death (counted against the
+        respawn budget), an injected ``stall`` longer than ``chunk_timeout``
+        as a timeout loss — so every recovery path is exercisable without
+        real processes.
         """
         solve_fn = self._resolve_solve_fn()
         solutions: list = [None] * len(scenario_set)
         chunks: list[ChunkRecord] = []
         worker_devices: dict[int, list[dict]] = {w: [] for w in range(workers)}
+        recovery = _RecoveryState()
         clocks = [0.0] * workers
         dark = [False] * workers
+        dead = [False] * workers
+        dispatch_count = [0] * workers
+        attempts: dict[int, int] = {}
+        abort = False
 
-        while not all(dark):
-            worker = min((w for w in range(workers) if not dark[w]),
-                         key=lambda w: (clocks[w], w))
-            assignment = scheduler.next_chunk(worker)
+        while True:
+            if scheduler.has_replay and not abort:
+                # replay work is servable by anyone: wake the dark workers
+                for w in range(workers):
+                    if dark[w] and not dead[w]:
+                        dark[w] = False
+            candidates = [w for w in range(workers) if not dark[w] and not dead[w]]
+            if not candidates:
+                break
+            worker = min(candidates, key=lambda w: (clocks[w], w))
+            assignment = None if abort else scheduler.next_chunk(worker)
             if assignment is None:
                 dark[worker] = True
                 continue
             indices, origin, stolen = assignment
-            task = self._make_task(scenario_set, params, time_limit, indices,
-                                   worker, warm_states)
-            try:
-                result = solve_fn(task)
-            except Exception as exc:  # surface the failing scenario, raise
-                raise self._chunk_error(scenario_set, worker, indices,
-                                        repr(exc)) from exc
-            for index, solution in zip(result.indices, result.solutions):
-                solutions[index] = solution
-            worker_devices[worker].append(result.device)
-            chunks.append(ChunkRecord(worker=worker, indices=indices,
-                                      origin=origin, stolen=stolen,
-                                      seconds=result.seconds))
-            clocks[worker] += result.seconds
-        return solutions, chunks, worker_devices
+            attempt = max((attempts.get(i, 0) for i in indices), default=0)
+            dispatch_count[worker] += 1
+            command = (self.fault_plan.draw(worker, dispatch_count[worker], indices)
+                       if self.fault_plan is not None else None)
 
-    # ------------------------------------------------------------------ #
-    def _run_processes(self, scenario_set: ScenarioSet, params,
-                       time_limit: float | None, scheduler: _StealScheduler,
-                       workers: int, warm_states=None):
-        """Multiprocessing executor: one worker process per device.
+            kind = detail = None
+            stall_seconds = 0.0
+            result = None
+            if command is not None and command.kind == "crash":
+                kind = "death"
+                detail = ("worker process died without reporting a result "
+                          "(injected crash, simulated in-process)")
+            elif (command is not None and command.kind == "stall"
+                    and self.chunk_timeout is not None
+                    and command.seconds > self.chunk_timeout):
+                kind = "timeout"
+                detail = (f"worker stalled {command.seconds:.1f}s past the "
+                          f"{self.chunk_timeout:.1f}s chunk deadline "
+                          "(injected stall, simulated in-process)")
+            else:
+                if command is not None and command.kind == "stall":
+                    stall_seconds = command.seconds  # sub-deadline stall: delay only
+                try:
+                    if command is not None and command.kind == "raise":
+                        raise RuntimeError("injected fault: raise")
+                    result = solve_fn(self._make_task(
+                        scenario_set, params, time_limit, indices, worker,
+                        warm_states))
+                except Exception as exc:
+                    kind, detail = "error", repr(exc)
 
-        The parent is the scheduler: it dispatches chunks over per-worker
-        task queues and collects :class:`ShardResult`s (or error reports)
-        from a shared result queue, re-dispatching — own shard first, then
-        stealing — as each worker reports back.  A worker that dies without
-        reporting is detected by liveness polling, so a mid-shard crash
-        surfaces as :class:`PoolExecutionError` instead of a hang.
-        """
+            if kind is None:
+                for index, solution in zip(result.indices, result.solutions):
+                    solutions[index] = solution
+                worker_devices[worker].append(result.device)
+                chunks.append(ChunkRecord(worker=worker, indices=indices,
+                                          origin=origin, stolen=stolen,
+                                          seconds=result.seconds + stall_seconds,
+                                          attempt=attempt))
+                clocks[worker] += result.seconds + stall_seconds
+                continue
+
+            failure = self._chunk_failure(scenario_set, worker, indices, kind,
+                                          detail, attempt)
+            abort = self._register_failure(recovery, scheduler, failure,
+                                           origin, attempts)
+            if not abort and kind in ("death", "timeout"):
+                # the simulated worker is gone; "respawn" it unless the
+                # budget ran out, in which case its shard is orphaned
+                if recovery.respawns < self.max_respawns:
+                    recovery.respawns += 1
+                else:
+                    dead[worker] = True
+                    scheduler.orphan(worker)
+
+        if not abort and scheduler.has_work:
+            self._drain_lost(recovery, scheduler, scenario_set, attempts)
+        return solutions, chunks, worker_devices, recovery
+
+
+# --------------------------------------------------------------------- #
+# Process executor                                                       #
+# --------------------------------------------------------------------- #
+@dataclass
+class _Dispatch:
+    """One in-flight chunk: what a worker is (supposedly) solving."""
+
+    tag: int                  # unique per dispatch; stale results are dropped
+    indices: tuple[int, ...]
+    origin: int
+    stolen: bool
+    attempt: int
+    deadline: float | None    # monotonic instant the chunk is declared lost
+
+
+class _ProcessRun:
+    """One multiprocessing pool execution, with replay/respawn recovery.
+
+    The parent is the scheduler: it dispatches chunks and collects
+    :class:`ShardResult`s (or error reports) over one **private duplex
+    pipe per worker**, re-dispatching — replay queue first, own shard
+    next, then stealing — as each worker reports back.  A worker that dies
+    without reporting is detected by liveness polling; one that stalls past
+    ``chunk_timeout`` is terminated.  Both lose their chunk to the replay
+    machinery and are respawned (fresh ``Process`` on a fresh pipe,
+    exponential backoff) within the ``max_respawns`` budget.  Every
+    dispatch carries a monotonically increasing *tag*; a result whose tag
+    does not match the worker's current dispatch is a late arrival from a
+    worker already declared lost and is dropped — its chunk is replayed (or
+    already failed), so dropping the buffered payload cannot lose work.
+
+    Pipes, not ``multiprocessing.Queue``s, are load-bearing for fault
+    tolerance: a shared queue multiplexes writers through one shared write
+    lock held by a background feeder thread, so a worker killed mid-``put``
+    (``os._exit``, ``SIGKILL``, a terminated stall) can exit holding the
+    lock and silently wedge every *surviving* writer — the failure then
+    cascades as spurious chunk timeouts until the respawn budget dies.  A
+    pipe has exactly one writer on each end and no helper threads, so
+    corruption is confined to the dead worker's pipe, which is closed and
+    replaced on respawn.
+    """
+
+    #: result-queue poll granularity (also bounds deadline/respawn latency)
+    POLL_SECONDS = 0.25
+    #: shared wall-clock budget of the shutdown join across *all* workers
+    JOIN_SECONDS = 30.0
+
+    def __init__(self, pool: DevicePool, scenario_set: ScenarioSet, params,
+                 time_limit: float | None, scheduler: _StealScheduler,
+                 workers: int, warm_states) -> None:
+        self.pool = pool
+        self.scenario_set = scenario_set
+        self.params = params
+        self.time_limit = time_limit
+        self.scheduler = scheduler
+        self.workers = workers
+        self.warm_states = warm_states
+        self.solve_fn = pool._resolve_solve_fn()
+
+        self.solutions: list = [None] * len(scenario_set)
+        self.chunks: list[ChunkRecord] = []
+        self.worker_devices: dict[int, list[dict]] = {w: [] for w in range(workers)}
+        self.recovery = _RecoveryState()
+        self.outstanding: dict[int, _Dispatch] = {}
+        self.parked: set[int] = set()
+        self.dead = [False] * workers
+        self.respawn_at: dict[int, float] = {}
+        self.worker_respawns = [0] * workers
+        self.dispatch_count = [0] * workers
+        self.attempts: dict[int, int] = {}
+        self.abort = False
+        self.next_tag = 0
+        self.retired: list = []     # replaced/terminated processes to join
+
+    # -------------------------------------------------------------- #
+    def run(self):
         import multiprocessing as mp
 
-        solve_fn = self._resolve_solve_fn()
-        method = self.start_method
+        method = self.pool.start_method
         if method is None:
             method = "fork" if "fork" in mp.get_all_start_methods() else None
-        context = mp.get_context(method)
-
-        task_queues = [context.Queue() for _ in range(workers)]
-        result_queue = context.Queue()
-        processes = [
-            context.Process(target=_pool_worker, name=f"device-pool-{w}",
-                            args=(w, solve_fn, task_queues[w], result_queue),
-                            daemon=True)
-            for w in range(workers)]
-        for process in processes:
-            process.start()
-
-        solutions: list = [None] * len(scenario_set)
-        chunks: list[ChunkRecord] = []
-        worker_devices: dict[int, list[dict]] = {w: [] for w in range(workers)}
-        outstanding: dict[int, tuple[tuple[int, ...], int, bool]] = {}
-        shutdown_sent = [False] * workers
-        failure: PoolExecutionError | None = None
-
-        def dispatch(worker: int) -> None:
-            if shutdown_sent[worker]:
-                return
-            assignment = None if failure is not None else scheduler.next_chunk(worker)
-            if assignment is None:
-                task_queues[worker].put(None)
-                shutdown_sent[worker] = True
-                return
-            indices, origin, stolen = assignment
-            outstanding[worker] = (indices, origin, stolen)
-            task_queues[worker].put(
-                self._make_task(scenario_set, params, time_limit, indices,
-                                worker, warm_states))
-
+        self.context = mp.get_context(method)
+        self.processes = [None] * self.workers
+        self.conns = [None] * self.workers
+        for worker in range(self.workers):
+            self._start_worker(worker)
         try:
-            for worker in range(workers):
-                dispatch(worker)
-            while outstanding:
-                try:
-                    worker, kind, payload = result_queue.get(timeout=0.5)
-                except queue_module.Empty:
-                    for worker, (indices, _, _) in list(outstanding.items()):
-                        if not processes[worker].is_alive():
-                            outstanding.pop(worker)
-                            shutdown_sent[worker] = True
-                            error = self._chunk_error(
-                                scenario_set, worker, indices,
-                                "worker process died without reporting a result "
-                                f"(exit code {processes[worker].exitcode})")
-                            failure = failure or error
-                    continue
-                assignment = outstanding.pop(worker, None)
-                if assignment is None:
-                    # late-arriving result from a worker already declared
-                    # dead by the liveness poll; its chunk was recorded as
-                    # failed, so just drop the buffered payload
-                    continue
-                indices, origin, stolen = assignment
-                if kind == "ok":
-                    for index, solution in zip(payload.indices, payload.solutions):
-                        solutions[index] = solution
-                    worker_devices[worker].append(payload.device)
-                    chunks.append(ChunkRecord(worker=worker, indices=indices,
-                                              origin=origin, stolen=stolen,
-                                              seconds=payload.seconds))
-                else:
-                    failure = failure or self._chunk_error(
-                        scenario_set, worker, indices, str(payload))
-                dispatch(worker)
+            self._loop()
         finally:
-            for worker in range(workers):
-                if not shutdown_sent[worker]:
-                    task_queues[worker].put(None)
-                    shutdown_sent[worker] = True
-            for process in processes:
-                process.join(timeout=30.0)
-                if process.is_alive():  # last resort; never expected
-                    process.terminate()
-                    process.join(timeout=5.0)
-            for task_queue in task_queues:
-                task_queue.close()
-            result_queue.close()
+            self._shutdown()
+        if not self.abort and self.scheduler.has_work:
+            self.pool._drain_lost(self.recovery, self.scheduler,
+                                  self.scenario_set, self.attempts)
+        return self.solutions, self.chunks, self.worker_devices, self.recovery
 
-        if failure is not None:
-            raise failure
-        return solutions, chunks, worker_devices
+    def _start_worker(self, worker: int) -> None:
+        """(Re)start ``worker`` on a fresh process and a fresh private pipe."""
+        parent_conn, child_conn = self.context.Pipe(duplex=True)
+        process = self.context.Process(
+            target=_pool_worker, name=f"device-pool-{worker}",
+            args=(worker, self.solve_fn, child_conn),
+            daemon=True)
+        self.processes[worker] = process
+        self.conns[worker] = parent_conn
+        process.start()
+        # drop the parent's copy of the worker end so the pipe reports EOF
+        # the moment the worker process is gone
+        child_conn.close()
+
+    # -------------------------------------------------------------- #
+    def _loop(self) -> None:
+        for worker in range(self.workers):
+            self._dispatch(worker)
+        while True:
+            self._feed_parked()
+            if not self.outstanding and not self.respawn_at:
+                if self.abort or not self.scheduler.has_work:
+                    return
+                if not self._any_runnable():
+                    return  # run() drains the unservable remainder
+            self._pump_results(self._poll_timeout())
+            self._check_liveness()
+            self._check_deadlines()
+            self._do_respawns()
+
+    def _pump_results(self, timeout: float) -> None:
+        """Wait on every live worker pipe; drain all buffered results.
+
+        Results already buffered on a pipe are always consumed before the
+        liveness poll runs, so a result that *did* arrive is never raced by
+        a death verdict.  A pipe that reports EOF is retired here (closed,
+        slot set to ``None``) and the process's fate is left to
+        :meth:`_check_liveness` — the pipe going down and the worker's death
+        verdict are the same event, only detected on different channels.
+        """
+        from multiprocessing import connection as mp_connection
+
+        watched = {conn: worker for worker, conn in enumerate(self.conns)
+                   if conn is not None}
+        if not watched:
+            time.sleep(timeout)
+            return
+        for conn in mp_connection.wait(list(watched), timeout=timeout):
+            worker = watched[conn]
+            while self.conns[worker] is conn:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._retire_conn(worker)
+                    break
+                self._handle_result(*message)
+
+    def _retire_conn(self, worker: int) -> None:
+        conn = self.conns[worker]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self.conns[worker] = None
+
+    def _any_runnable(self) -> bool:
+        return any(not self.dead[w] for w in range(self.workers))
+
+    def _poll_timeout(self) -> float:
+        timeout = self.POLL_SECONDS
+        now = time.monotonic()
+        for dispatch in self.outstanding.values():
+            if dispatch.deadline is not None:
+                timeout = min(timeout, dispatch.deadline - now)
+        for when in self.respawn_at.values():
+            timeout = min(timeout, when - now)
+        return max(0.01, timeout)
+
+    # -------------------------------------------------------------- #
+    def _dispatch(self, worker: int) -> None:
+        """Hand ``worker`` its next chunk, or park it until work appears."""
+        if self.dead[worker] or worker in self.respawn_at:
+            return
+        assignment = None if self.abort else self.scheduler.next_chunk(worker)
+        if assignment is None:
+            self.parked.add(worker)
+            return
+        self.parked.discard(worker)
+        indices, origin, stolen = assignment
+        attempt = max((self.attempts.get(i, 0) for i in indices), default=0)
+        self.dispatch_count[worker] += 1
+        command = None
+        if self.pool.fault_plan is not None:
+            command = self.pool.fault_plan.draw(
+                worker, self.dispatch_count[worker], indices)
+        self.next_tag += 1
+        deadline = (None if self.pool.chunk_timeout is None
+                    else time.monotonic() + self.pool.chunk_timeout)
+        self.outstanding[worker] = _Dispatch(
+            tag=self.next_tag, indices=indices, origin=origin, stolen=stolen,
+            attempt=attempt, deadline=deadline)
+        task = self.pool._make_task(self.scenario_set, self.params,
+                                    self.time_limit, indices, worker,
+                                    self.warm_states)
+        try:
+            self.conns[worker].send((self.next_tag, task, command))
+        except (BrokenPipeError, OSError):
+            # the worker died between scheduling and send: leave the
+            # dispatch outstanding — the liveness poll turns it into a
+            # death failure and the chunk replays
+            self._retire_conn(worker)
+
+    def _feed_parked(self) -> None:
+        if self.abort:
+            return
+        for worker in sorted(self.parked):
+            if not self.scheduler.has_work:
+                return
+            if worker in self.outstanding:
+                continue
+            self._dispatch(worker)
+
+    # -------------------------------------------------------------- #
+    def _handle_result(self, worker: int, tag: int, kind: str, payload) -> None:
+        dispatch = self.outstanding.get(worker)
+        if dispatch is None or dispatch.tag != tag:
+            # late-arriving result from a worker already declared lost (its
+            # chunk was requeued or recorded failed): drop the buffered
+            # payload — replay re-derives the identical solutions
+            LOGGER.debug("pool: dropping stale result tag=%d from worker %d",
+                         tag, worker)
+            return
+        del self.outstanding[worker]
+        if kind == "ok":
+            for index, solution in zip(payload.indices, payload.solutions):
+                self.solutions[index] = solution
+            self.worker_devices[worker].append(payload.device)
+            self.chunks.append(ChunkRecord(
+                worker=worker, indices=dispatch.indices, origin=dispatch.origin,
+                stolen=dispatch.stolen, seconds=payload.seconds,
+                attempt=dispatch.attempt))
+            self._dispatch(worker)
+            return
+        failure = self.pool._chunk_failure(
+            self.scenario_set, worker, dispatch.indices, "error", str(payload),
+            dispatch.attempt)
+        self.abort |= self.pool._register_failure(
+            self.recovery, self.scheduler, failure, dispatch.origin,
+            self.attempts)
+        if kind == "fatal":
+            # the worker reported a non-Exception exit and left its loop:
+            # treat the process as lost without waiting for the liveness poll
+            self._worker_lost(worker)
+        else:
+            self._dispatch(worker)
+
+    def _check_liveness(self) -> None:
+        for worker in list(self.outstanding):
+            process = self.processes[worker]
+            if process.is_alive():
+                continue
+            dispatch = self.outstanding.pop(worker)
+            failure = self.pool._chunk_failure(
+                self.scenario_set, worker, dispatch.indices, "death",
+                "worker process died without reporting a result "
+                f"(exit code {process.exitcode})", dispatch.attempt)
+            self.abort |= self.pool._register_failure(
+                self.recovery, self.scheduler, failure, dispatch.origin,
+                self.attempts)
+            self._worker_lost(worker)
+
+    def _check_deadlines(self) -> None:
+        if self.pool.chunk_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(self.outstanding):
+            dispatch = self.outstanding[worker]
+            if dispatch.deadline is None or now <= dispatch.deadline:
+                continue
+            del self.outstanding[worker]
+            failure = self.pool._chunk_failure(
+                self.scenario_set, worker, dispatch.indices, "timeout",
+                f"worker stalled past the {self.pool.chunk_timeout:.1f}s "
+                "chunk deadline and was terminated", dispatch.attempt)
+            self.abort |= self.pool._register_failure(
+                self.recovery, self.scheduler, failure, dispatch.origin,
+                self.attempts)
+            self._worker_lost(worker, terminate=True)
+
+    def _worker_lost(self, worker: int, terminate: bool = False) -> None:
+        """Retire a dead/stalled worker; respawn within budget."""
+        process = self.processes[worker]
+        if terminate and process.is_alive():
+            process.terminate()
+        self.retired.append(process)
+        self._retire_conn(worker)   # corruption dies with the pipe
+        self.parked.discard(worker)
+        if self.abort or self.recovery.respawns >= self.pool.max_respawns:
+            self.dead[worker] = True
+            if not self.abort:
+                self.scheduler.orphan(worker)
+            return
+        self.recovery.respawns += 1
+        backoff = self.pool.respawn_backoff * (2 ** self.worker_respawns[worker])
+        self.worker_respawns[worker] += 1
+        self.respawn_at[worker] = time.monotonic() + backoff
+        LOGGER.info("pool: respawning worker %d in %.2fs (respawn %d/%d)",
+                    worker, backoff, self.recovery.respawns,
+                    self.pool.max_respawns)
+
+    def _do_respawns(self) -> None:
+        now = time.monotonic()
+        for worker, when in list(self.respawn_at.items()):
+            if when > now:
+                continue
+            del self.respawn_at[worker]
+            self._start_worker(worker)
+            self._dispatch(worker)
+
+    # -------------------------------------------------------------- #
+    def _shutdown(self) -> None:
+        """Bounded teardown: one shared join deadline, pipes can't hang it.
+
+        A failed solve must not stall the caller for 30 s × workers: every
+        process joins against the *same* wall-clock budget and stragglers
+        are terminated.  Pipes have no feeder threads, so closing the
+        parent ends afterwards is all the cleanup there is — a worker still
+        blocked reading its pipe sees EOF and exits on its own.
+        """
+        for conn in self.conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError, ValueError):
+                pass  # best effort; the join deadline still bounds teardown
+        deadline = time.monotonic() + self.JOIN_SECONDS
+        everyone = [p for p in [*self.processes, *self.retired]
+                    if p is not None]
+        for process in everyone:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for process in everyone:
+            if process.is_alive():  # last resort; never expected
+                process.terminate()
+        for process in everyone:
+            if process.is_alive():
+                process.join(timeout=max(0.1, min(5.0, deadline + 5.0
+                                                  - time.monotonic())))
+        for worker in range(self.workers):
+            self._retire_conn(worker)
 
 
-def _pool_worker(worker_id: int, solve_fn: Callable, task_queue,
-                 result_queue) -> None:
-    """Worker-process loop: solve dispatched shards until told to stop."""
+def _execute_fault(fault: FaultCommand) -> None:
+    """Perform an injected fault inside a worker process (for real)."""
+    if fault.kind == "crash":
+        os._exit(43)  # hard death: no exception, no cleanup — a segfault proxy
+    elif fault.kind == "stall":
+        time.sleep(fault.seconds)  # then solve normally; the parent's
+        # deadline decides whether this chunk was already declared lost
+    elif fault.kind == "raise":
+        raise RuntimeError("injected fault: raise")
+
+
+def _pool_worker(worker_id: int, solve_fn: Callable, conn) -> None:
+    """Worker-process loop: solve dispatched shards until told to stop.
+
+    ``conn`` is the worker end of a duplex pipe private to this worker.
+    Every envelope is ``(tag, task, fault)``; the tag is echoed back so the
+    parent can discard results from dispatches it has given up on.  A
+    ``None`` envelope — or the pipe reporting EOF because the parent closed
+    its end — is the shutdown signal.  A non-``Exception`` escape
+    (``SystemExit``, ``KeyboardInterrupt``) is reported as ``"fatal"``
+    before the loop exits, so the parent learns of the loss immediately
+    instead of via the liveness poll.
+    """
     import traceback
 
     while True:
-        task = task_queue.get()
-        if task is None:
-            return
         try:
-            result_queue.put((worker_id, "ok", solve_fn(task)))
+            envelope = conn.recv()
+        except (EOFError, OSError):
+            return
+        if envelope is None:
+            return
+        tag, task, fault = envelope
+        try:
+            if fault is not None:
+                _execute_fault(fault)
+            conn.send((worker_id, tag, "ok", solve_fn(task)))
         except Exception:
-            result_queue.put((worker_id, "error", traceback.format_exc()))
+            conn.send((worker_id, tag, "error", traceback.format_exc()))
+        except BaseException:
+            try:
+                conn.send((worker_id, tag, "fatal", traceback.format_exc()))
+            finally:
+                return
 
 
 def solve_acopf_admm_pool(scenarios, params=None, n_workers: int | None = None,

@@ -43,7 +43,7 @@ from repro.admm.solver import AdmmSolution
 from repro.admm.state import AdmmState
 from repro.exceptions import ConfigurationError
 from repro.logging_utils import get_logger
-from repro.parallel.pool import DevicePool
+from repro.parallel.pool import DevicePool, PoolExecutionError
 from repro.scenarios import Scenario, ScenarioSet, as_scenario_set
 from repro.tracking.horizon import HorizonResult, PeriodRecord
 from repro.tracking.load_profile import normalize_profiles
@@ -140,6 +140,9 @@ class BatchPeriodRecord:
     wall_seconds: float         # observed host wall-clock of the period
     workers: list[int | None]   # worker that solved each scenario (pool mode)
     steals: int = 0
+    retries: int = 0            # chunks replayed by the pool this period
+    respawns: int = 0           # worker processes respawned this period
+    replayed: tuple[int, ...] = ()  # scenarios that survived a replay
 
     @property
     def objectives(self) -> np.ndarray:
@@ -220,6 +223,16 @@ class BatchHorizonResult:
     @property
     def n_steals(self) -> int:
         return sum(p.steals for p in self.periods)
+
+    @property
+    def total_retries(self) -> int:
+        """Chunk replays the pool performed across the whole horizon."""
+        return sum(p.retries for p in self.periods)
+
+    @property
+    def total_respawns(self) -> int:
+        """Worker respawns the pool performed across the whole horizon."""
+        return sum(p.respawns for p in self.periods)
 
     def scenario_index(self, scenario: int | str) -> int:
         if isinstance(scenario, str):
@@ -392,6 +405,8 @@ def track_horizon_batch(scenarios, profile,
             seconds = wall
             workers: list[int | None] = [None] * n_scenarios
             steals = 0
+            retries = respawns = 0
+            replayed: tuple[int, ...] = ()
         else:
             scenario_set = _period_scenario_set(base, views, period)
             report = pool.solve(scenario_set, params=params,
@@ -399,12 +414,28 @@ def track_horizon_batch(scenarios, profile,
                                 warm_states=warm_states,
                                 affinity=(cache.affinity(keys)
                                           if warm_start else None))
+            if report.failed_scenarios:
+                # a partial-mode pool can hand back None solutions; a
+                # tracking horizon cannot continue past a hole in the fleet
+                # (the cache and the ramp coupling both need every state)
+                names = [keys[s] for s in report.failed_scenarios]
+                raise PoolExecutionError(
+                    f"period {period} lost scenarios {names} to exhausted "
+                    "retry budgets; a tracking horizon needs every scenario "
+                    "— use on_failure='retry' (or 'raise') pools for "
+                    "tracking, or widen the budgets",
+                    indices=report.failed_scenarios,
+                    scenario_names=tuple(names),
+                    failures=tuple(report.failures))
             solutions = report.solutions
             wall = time.perf_counter() - start
             seconds = report.makespan_seconds
             worker_map = report.scenario_workers
             workers = [worker_map.get(s) for s in range(n_scenarios)]
             steals = report.n_steals
+            retries = report.retries
+            respawns = report.respawns
+            replayed = report.replayed_scenarios
             # the pool clamps its width to the scenario count; record the
             # width the periods actually ran at
             result.n_workers = report.n_workers
@@ -419,11 +450,14 @@ def track_horizon_batch(scenarios, profile,
             period=period, multipliers=multipliers,
             solutions=[replace(solution, state=None) for solution in solutions],
             solve_seconds=seconds, wall_seconds=wall, workers=workers,
-            steals=steals))
-        LOGGER.debug("period %d: %d scenarios, %d iterations, %.2fs%s",
+            steals=steals, retries=retries, respawns=respawns,
+            replayed=replayed))
+        LOGGER.debug("period %d: %d scenarios, %d iterations, %.2fs%s%s",
                      period, n_scenarios,
                      int(result.periods[-1].iterations.sum()), seconds,
-                     f", {steals} steals" if steals else "")
+                     f", {steals} steals" if steals else "",
+                     (f", {retries} retries/{respawns} respawns"
+                      if retries or respawns else ""))
     return result
 
 
