@@ -94,6 +94,16 @@ def check_file(name: str, results_dir: Path, baseline_dir: Path,
         return True, (f"SKIP {name}: worker_count mismatch "
                       f"(baseline={baseline.get('worker_count')}, "
                       f"fresh={fresh.get('worker_count')}) — not comparable")
+    # artifacts predating the backend stamp were all NumPy-produced
+    baseline_backend = baseline.get("backend") or "numpy"
+    fresh_backend = fresh.get("backend") or "numpy"
+    if baseline_backend != fresh_backend:
+        # e.g. a REPRO_BACKEND=numba run vs the committed NumPy baseline: a
+        # different kernel implementation is a different machine, not a
+        # regression of this one
+        return True, (f"SKIP {name}: kernel-backend mismatch "
+                      f"(baseline={baseline_backend}, "
+                      f"fresh={fresh_backend}) — not comparable")
 
     try:
         baseline_value = extract(baseline, metric)

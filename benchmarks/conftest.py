@@ -35,6 +35,7 @@ from repro.analysis.experiments import (
     table2,
     tracking_experiment,
 )
+from repro.parallel.backends import default_backend_name
 
 
 def smoke_mode() -> bool:
@@ -60,14 +61,16 @@ def write_bench_json(path: Path, payload: dict, workers: int = 1) -> Path:
     The payload is written to a same-directory temp file and ``os.replace``d
     into place, so concurrent pool runs / CI artifact uploads can never
     observe a partially written file; it is stamped with the git SHA, the
-    worker count that produced it, and the smoke-mode flag so artifacts are
-    attributable after the fact.
+    worker count that produced it, the smoke-mode flag, and the active
+    kernel-backend name so artifacts are attributable after the fact (and
+    the regression gate never compares measurements across backends).
     """
     path = Path(path)
     payload = dict(payload)
     payload.setdefault("git_sha", repo_git_sha())
     payload.setdefault("worker_count", int(workers))
     payload.setdefault("smoke_mode", smoke_mode())
+    payload.setdefault("backend", default_backend_name())
     text = json.dumps(payload, indent=2) + "\n"
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     try:
@@ -95,7 +98,7 @@ def merge_bench_json(path: Path, payload: dict, workers: int = 1) -> Path:
         except (OSError, json.JSONDecodeError):
             existing = {}
     merged = {**existing, **payload}
-    for stamp in ("git_sha", "worker_count", "smoke_mode"):
+    for stamp in ("git_sha", "worker_count", "smoke_mode", "backend"):
         merged.pop(stamp, None)
     return write_bench_json(path, merged, workers=workers)
 

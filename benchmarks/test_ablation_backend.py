@@ -1,10 +1,15 @@
-"""Ablation benchmark: batched vs. loop execution of the branch subproblems.
+"""Ablation benchmarks: execution strategy and kernel backend.
 
 The paper's core systems claim is that batching the branch NLPs (one GPU
 thread block per branch in ExaTron) is what makes the component decomposition
 fast.  The simulated analogue compares the vectorised batched TRON backend
 against the loop backend (one branch at a time) for the same number of ADMM
 iterations: identical numerics, very different wall-clock.
+
+A second ablation sweeps the registered *kernel* backends (the orthogonal
+axis: how each kernel is implemented, not how the batch is driven) over the
+same solve, printing per-backend wall-clock and device kernel throughput;
+exact backends must agree bitwise with the NumPy oracle.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 from repro.admm import AdmmParameters, solve_acopf_admm
 from repro.analysis.reporting import render_table
 from repro.grid.cases import load_case
+from repro.parallel import SimulatedDevice, available_backends, get_backend
 
 CASE = "case9"
 ITERATION_BUDGET = dict(max_outer=2, max_inner=40)
@@ -53,3 +59,50 @@ def test_ablation_batched_vs_loop_backend(benchmark):
     assert np.isclose(batched_solution.objective, loop_solution.objective, rtol=1e-3)
     # Batching must win, and by a visible margin even on a 9-branch case.
     assert batched_seconds < loop_seconds
+
+
+def run_kernel_backend(name: str):
+    network = load_case(CASE)
+    params = AdmmParameters(kernel_backend=name, **ITERATION_BUDGET)
+    device = SimulatedDevice(name=f"ablation-{name}")
+    start = time.perf_counter()
+    solution = solve_acopf_admm(network, params=params, device=device)
+    elapsed = time.perf_counter() - start
+    return solution, elapsed, device
+
+
+def test_ablation_kernel_backends(benchmark):
+    """Sweep every registered kernel backend over the same fixed budget."""
+    names = available_backends()
+
+    def run_all():
+        return {name: run_kernel_backend(name) for name in names}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    oracle_solution, _, _ = results["numpy"]
+
+    rows = []
+    for name in names:
+        solution, elapsed, device = results[name]
+        snapshot = device.as_dict()
+        assert snapshot["backend"] == name
+        kernel_elems = sum(rec["total_elements"]
+                           for rec in snapshot["kernels"].values())
+        throughput = kernel_elems / max(snapshot["total_seconds"], 1e-9)
+        rows.append([name, "yes" if get_backend(name).exact else "no",
+                     elapsed, solution.objective, throughput])
+        if get_backend(name).exact:
+            # The oracle contract: exact backends reproduce NumPy bitwise,
+            # so the whole trajectory (hence the objective) is identical.
+            assert solution.objective == oracle_solution.objective
+            assert np.array_equal(solution.vm, oracle_solution.vm)
+        else:
+            assert np.isclose(solution.objective, oracle_solution.objective,
+                              rtol=1e-6)
+
+    print()
+    print(render_table(
+        ["kernel backend", "exact", "time (s)", "objective", "kernel elem/s"],
+        rows,
+        title=f"Kernel-backend ablation on {CASE} "
+              f"(fixed {ITERATION_BUDGET['max_outer']}x{ITERATION_BUDGET['max_inner']} budget)"))

@@ -49,7 +49,11 @@ from repro.parallel import (
     DevicePool,
     FaultPlan,
     FaultSpec,
+    KernelBackend,
     PoolReport,
+    available_backends,
+    get_backend,
+    register_backend,
     solve_acopf_admm_pool,
 )
 from repro.tracking import (
@@ -87,6 +91,10 @@ __all__ = [
     "relative_objective_gap",
     "BaselineSolution",
     "InteriorPointOptions",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "solve_acopf_ipm",
     "Network",
     "available_cases",

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.admm.data import COUPLING_GROUPS, ComponentData
 from repro.admm.state import AdmmState
-from repro.parallel.kernels import segment_max
+from repro.parallel.backends import KernelBackend, get_backend
 
 
 def update_artificial_variables(data: ComponentData, state: AdmmState) -> None:
@@ -57,7 +57,8 @@ def update_multipliers(data: ComponentData, state: AdmmState) -> dict[str, np.nd
 
 
 def update_outer_level(data: ComponentData, state: AdmmState,
-                       previous_z_norm, active: np.ndarray | None = None):
+                       previous_z_norm, active: np.ndarray | None = None,
+                       backend: KernelBackend | None = None):
     """Outer-level update of ``λ`` (projected) and ``β`` (geometric growth).
 
     Per scenario: ``λ ← Π[−bound, bound](λ + β z)``; ``β`` grows by
@@ -70,6 +71,7 @@ def update_outer_level(data: ComponentData, state: AdmmState,
     Returns the new per-scenario ``‖z‖_∞`` — as a float when called with
     scalar state (the classic single-network path), as an array otherwise.
     """
+    segment_max = get_backend(backend).segment_max
     params = data.params
     layout = data.scenario_layout
     n_scenarios = layout.n_scenarios

@@ -49,6 +49,7 @@ from repro.admm.state import (
 from repro.analysis.metrics import constraint_violation
 from repro.exceptions import ConfigurationError
 from repro.logging_utils import get_logger
+from repro.parallel.backends import get_backend
 from repro.parallel.compaction import Workspace, compaction_enabled
 from repro.parallel.device import SimulatedDevice
 from repro.scenarios import Scenario, ScenarioSet, as_scenario_set
@@ -90,7 +91,9 @@ class BatchAdmmSolver:
             params=self.params,
             penalties=[(p.rho_pq, p.rho_va) for p in per_scenario],
             names=self.scenarios.names)
+        self.backend = get_backend(self.params.kernel_backend)
         self.device = device or SimulatedDevice()
+        self.device.backend = self.backend.name
         self.workspace = Workspace()
         self.last_state: AdmmState | None = None
 
@@ -220,12 +223,14 @@ class BatchAdmmSolver:
             active_coupling = 2 * active_gen + 8 * active_branch
 
             device.launch("generator_update", update_generators, data, state,
-                          elements=data.n_gen, active_elements=active_gen)
+                          elements=data.n_gen, active_elements=active_gen,
+                          backend=self.backend)
             device.launch("branch_update", update_branches, data, state, params.tron,
                           elements=data.n_branch, active_elements=active_branch,
-                          workspace=self.workspace)
+                          workspace=self.workspace, backend=self.backend)
             device.launch("bus_update", update_buses, data, state,
-                          elements=data.n_bus, active_elements=active_bus)
+                          elements=data.n_bus, active_elements=active_bus,
+                          backend=self.backend)
             device.launch("z_update", update_artificial_variables, data, state,
                           elements=data.n_coupling, active_elements=active_coupling)
             primal = device.launch("multiplier_update", update_multipliers, data, state,
@@ -252,7 +257,7 @@ class BatchAdmmSolver:
                 continue
 
             z_norm_new = update_outer_level(data, state, z_norm_prev[live],
-                                            active=round_done)
+                                            active=round_done, backend=self.backend)
             beta = np.asarray(state.beta)
             for s in np.flatnonzero(round_done):
                 g = int(live[s])

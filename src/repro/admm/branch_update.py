@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.admm.data import ComponentData
 from repro.admm.state import AdmmState
+from repro.parallel.backends import KernelBackend, get_backend
 from repro.parallel.compaction import Workspace
-from repro.parallel.kernels import segment_max
 from repro.powerflow.branch_derivatives import (
     quantity_value,
     quantity_value_grad,
@@ -84,6 +84,9 @@ class BranchObjective:
     # Callers that retain a gradient/Hessian across evaluations must copy
     # it (the TRON driver does); row-subset views never share the arena.
     workspace: Workspace | None = None
+    # kernel backend executing the dense batched products; None resolves
+    # the environment default at evaluation time.
+    backend: KernelBackend | None = None
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, u: np.ndarray, order: int) -> tuple:
@@ -109,6 +112,7 @@ class BranchObjective:
         sij, sji = u[:, SIJ], u[:, SJI]
         batch = u.shape[0]
         ws = self.workspace
+        kb = get_backend(self.backend)
 
         def scratch(key: str, shape: tuple) -> np.ndarray:
             """A zeroed accumulator, reused from the arena when one exists."""
@@ -117,9 +121,8 @@ class BranchObjective:
         def outer66(a: np.ndarray, b: np.ndarray) -> np.ndarray:
             """Batched outer product ``a bᵀ`` into a reused (B, 6, 6) buffer."""
             if ws is not None:
-                return np.einsum("bi,bj->bij", a, b,
-                                 out=ws.take("outer66", (batch, 6, 6)))
-            return np.einsum("bi,bj->bij", a, b)
+                return kb.batched_outer(a, b, out=ws.take("outer66", (batch, 6, 6)))
+            return kb.batched_outer(a, b)
 
         flows = {}
         for name, coeff in zip(("pij", "qij", "pji", "qji"), data.quantities.as_tuple()):
@@ -225,8 +228,8 @@ class BranchObjective:
                 if hess is not None:
                     c_hess66 = scratch("limit_h66", (batch, 6, 6))
                     c_hess66[:, :4, :4] = 2.0 * (
-                        np.einsum("bi,bj->bij", p_grad4, p_grad4) + p_val[:, None, None] * p_hess4
-                        + np.einsum("bi,bj->bij", q_grad4, q_grad4) + q_val[:, None, None] * q_hess4)
+                        kb.batched_outer(p_grad4, p_grad4) + p_val[:, None, None] * p_hess4
+                        + kb.batched_outer(q_grad4, q_grad4) + q_val[:, None, None] * q_hess4)
                     hess[:] += b[:, None, None] * outer66(c_grad6, c_grad6)
                     hess[:] += phi_prime[:, None, None] * c_hess66
 
@@ -277,7 +280,8 @@ class BranchObjective:
             y_wj=self.y_wj[indices], y_tj=self.y_tj[indices],
             lam_sij=self.lam_sij[indices], lam_sji=self.lam_sji[indices],
             rho_tilde=self.rho_tilde[indices],
-            lb=self.lb[indices], ub=self.ub[indices])
+            lb=self.lb[indices], ub=self.ub[indices],
+            backend=self.backend)
 
     def limit_residuals(self, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Line-limit constraint residuals (zero for unrated branches)."""
@@ -302,7 +306,8 @@ class _BranchDataView:
 
 
 def build_branch_objective(data: ComponentData, state: AdmmState,
-                           workspace: Workspace | None = None) -> BranchObjective:
+                           workspace: Workspace | None = None,
+                           backend: KernelBackend | None = None) -> BranchObjective:
     """Assemble the batched branch objective for the current ADMM iteration."""
     f = data.branch_from
     t = data.branch_to
@@ -335,20 +340,26 @@ def build_branch_objective(data: ComponentData, state: AdmmState,
         lam_sij=state.lam_sij * limited,
         lam_sji=state.lam_sji * limited,
         rho_tilde=state.rho_tilde * limited,
-        lb=lb, ub=ub, workspace=workspace)
+        lb=lb, ub=ub, workspace=workspace, backend=backend)
 
 
 def update_branches(data: ComponentData, state: AdmmState,
                     tron_options: TronOptions | None = None,
-                    workspace: Workspace | None = None) -> dict[str, float]:
+                    workspace: Workspace | None = None,
+                    backend: KernelBackend | None = None) -> dict[str, float]:
     """Solve all branch subproblems and update the branch state in place.
 
     Returns a small info dictionary (TRON iterations, line-limit violation)
-    used by the solver's logging.
+    used by the solver's logging.  ``backend`` selects the kernel backend
+    for the objective's dense products, the TRON driver, and the
+    per-scenario reductions; ``None`` resolves the environment default.
     """
     params = data.params
     tron_options = tron_options or params.tron
-    objective = build_branch_objective(data, state, workspace=workspace)
+    backend = get_backend(backend)
+    segment_max = backend.segment_max
+    objective = build_branch_objective(data, state, workspace=workspace,
+                                       backend=backend)
 
     u = np.column_stack([state.vi, state.vj, state.ti, state.tj, state.sij, state.sji])
     limited = data.branch_has_limit
@@ -361,7 +372,8 @@ def update_branches(data: ComponentData, state: AdmmState,
     done = np.zeros(n_scenarios, dtype=bool)
     for iteration in range(max(1, params.auglag_max_iter)):
         result = solve_batch(objective, u, options=tron_options,
-                             backend=params.tron_backend)
+                             backend=params.tron_backend,
+                             kernel_backend=backend)
         u_new = result.x
         tron_iterations += int(result.iterations.max()) if result.iterations.size else 0
         if iteration > 0 and done.any():

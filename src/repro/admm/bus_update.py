@@ -20,11 +20,17 @@ import numpy as np
 
 from repro.admm.data import ComponentData
 from repro.admm.state import AdmmState
-from repro.parallel.kernels import segment_sum
+from repro.parallel.backends import KernelBackend, get_backend
 
 
-def update_buses(data: ComponentData, state: AdmmState) -> None:
-    """Solve every bus subproblem in closed form and update the state."""
+def update_buses(data: ComponentData, state: AdmmState,
+                 backend: KernelBackend | None = None) -> None:
+    """Solve every bus subproblem in closed form and update the state.
+
+    ``backend`` selects the kernel backend for the segment reductions;
+    ``None`` resolves the environment default (``REPRO_BACKEND``).
+    """
+    segment_sum = get_backend(backend).segment_sum
     n_bus = data.n_bus
     f = data.branch_from
     t = data.branch_to

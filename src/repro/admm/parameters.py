@@ -62,6 +62,13 @@ class AdmmParameters:
         Options of the batched TRON solver used for branch subproblems.
     tron_backend:
         ``"batched"`` (default) or ``"loop"``.
+    kernel_backend:
+        Name of the registered kernel backend every sweep of this solve
+        runs with (``"numpy"`` / ``"loop"`` / ``"numba"`` / any name added
+        via :func:`repro.parallel.register_backend`).  ``None`` (the
+        default) defers to the ``REPRO_BACKEND`` environment variable and
+        falls back to the reference ``"numpy"`` oracle; an explicit name
+        here always wins over the environment.
     compaction_threshold:
         Scenario stream-compaction trigger of the batched solver: when the
         fraction of still-running scenarios among those resident in the
@@ -100,6 +107,7 @@ class AdmmParameters:
     auglag_tol: float = 1e-4
     tron: TronOptions = field(default_factory=lambda: TronOptions(max_iter=40, gtol=1e-7))
     tron_backend: str = "batched"
+    kernel_backend: str | None = None
     compaction_threshold: float = 1.0
     objective_scale: float = 1.0
     verbose: bool = False
@@ -118,6 +126,9 @@ class AdmmParameters:
             raise ConfigurationError("outer_tol must be positive")
         if self.tron_backend not in ("batched", "loop"):
             raise ConfigurationError("tron_backend must be 'batched' or 'loop'")
+        if self.kernel_backend is not None:
+            from repro.parallel.backends import get_backend
+            get_backend(self.kernel_backend)  # raises on unknown names
         if not (0 <= self.compaction_threshold <= 1):
             raise ConfigurationError("compaction_threshold must lie in [0, 1]")
         self.tron.validate()

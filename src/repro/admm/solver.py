@@ -37,6 +37,7 @@ from repro.admm.state import AdmmState, cold_start_state
 from repro.analysis.metrics import SolutionMetrics, constraint_violation
 from repro.grid.network import Network
 from repro.logging_utils import get_logger
+from repro.parallel.backends import get_backend
 from repro.parallel.compaction import Workspace
 from repro.parallel.device import SimulatedDevice
 
@@ -88,7 +89,9 @@ class AdmmSolver:
         self.params = params if params is not None else parameters_for_case(network)
         self.params.validate()
         self.data = ComponentData.from_network(network, self.params)
+        self.backend = get_backend(self.params.kernel_backend)
         self.device = device or SimulatedDevice()
+        self.device.backend = self.backend.name
         self.workspace = Workspace()
         self.last_state: AdmmState | None = None
 
@@ -121,11 +124,12 @@ class AdmmSolver:
 
             for inner in range(1, params.max_inner + 1):
                 device.launch("generator_update", update_generators, data, state,
-                              elements=data.n_gen)
+                              elements=data.n_gen, backend=self.backend)
                 device.launch("branch_update", update_branches, data, state, params.tron,
-                              elements=data.n_branch, workspace=self.workspace)
+                              elements=data.n_branch, workspace=self.workspace,
+                              backend=self.backend)
                 device.launch("bus_update", update_buses, data, state,
-                              elements=data.n_bus)
+                              elements=data.n_bus, backend=self.backend)
                 device.launch("z_update", update_artificial_variables, data, state,
                               elements=data.n_coupling)
                 primal = device.launch("multiplier_update", update_multipliers, data, state,
@@ -140,7 +144,8 @@ class AdmmSolver:
                 if time_limit is not None and time.perf_counter() - start > time_limit:
                     break
 
-            previous_z_norm = update_outer_level(data, state, previous_z_norm)
+            previous_z_norm = update_outer_level(data, state, previous_z_norm,
+                                                 backend=self.backend)
             iteration_log.append(AdmmIterationLog(
                 outer_iteration=outer, inner_iterations=inner,
                 primal_residual=residual.primal_norm if residual else float("nan"),

@@ -1,0 +1,33 @@
+"""Pluggable kernel backends: one device-kernel API, NumPy as the oracle.
+
+See :mod:`repro.parallel.backends.base` for the primitive set and
+:mod:`repro.parallel.backends.registry` for selection semantics
+(``REPRO_BACKEND``, solver options, third-party registration).
+"""
+
+from repro.parallel.backends.base import JIT_TOLERANCE, KernelBackend
+from repro.parallel.backends.loop_backend import LoopBackend
+from repro.parallel.backends.numba_backend import NumbaBackend
+from repro.parallel.backends.numpy_backend import NumpyBackend
+from repro.parallel.backends.registry import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "JIT_TOLERANCE",
+    "KernelBackend",
+    "LoopBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

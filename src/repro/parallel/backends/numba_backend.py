@@ -1,0 +1,157 @@
+"""Optional numba-JIT backend with graceful NumPy degradation.
+
+When :mod:`numba` is importable the scatter/segment reductions and the
+dense batched linear algebra run as JIT-compiled loop nests (the same
+technique the TRON b-step of the ``nr_clustering`` reference uses); when it
+is not — this container ships no numba, only CI installs it — the backend
+silently degrades to the reference NumPy implementations, so selecting
+``REPRO_BACKEND=numba`` never errors on a numba-less host.
+
+The JIT loop nests accumulate in plain ascending order while NumPy's
+``einsum`` uses blocked partial sums, so dot-product results can differ in
+the last bits; the backend therefore declares ``exact = False`` while JIT
+is active and the conformance suite grants it
+:data:`~repro.parallel.backends.base.JIT_TOLERANCE`.  With numba absent it
+*is* the NumPy oracle and declares itself exact.
+
+Element-wise launches (arbitrary Python kernels) and the gather/scatter
+memory ops are delegated to NumPy either way: a generic callback cannot be
+JIT-compiled from the outside, and fancy indexing is already a plain memory
+copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.backends.numpy_backend import NumpyBackend
+
+
+def _jit_sources() -> dict[str, Callable]:
+    """Plain-Python kernel bodies handed to ``numba.njit`` (lazy compile)."""
+
+    def scatter_add(target, indices, values):
+        for k in range(indices.shape[0]):
+            target[indices[k]] += values[k]
+        return target
+
+    def segment_sum(values, segment_ids, n_segments):
+        out = np.zeros(n_segments, dtype=values.dtype)
+        for k in range(values.shape[0]):
+            out[segment_ids[k]] += values[k]
+        return out
+
+    def segment_max(values, segment_ids, n_segments, initial):
+        out = np.full(n_segments, -np.inf)
+        for k in range(values.shape[0]):
+            if values[k] > out[segment_ids[k]]:
+                out[segment_ids[k]] = values[k]
+        for s in range(n_segments):
+            if np.isinf(out[s]) and out[s] < 0:
+                out[s] = initial
+        return out
+
+    def batched_matvec(matrices, vectors, out):
+        batch, n = vectors.shape
+        for b in range(batch):
+            for i in range(n):
+                acc = 0.0
+                for j in range(n):
+                    acc += matrices[b, i, j] * vectors[b, j]
+                out[b, i] = acc
+        return out
+
+    def batched_dot(a, b, out):
+        batch, n = a.shape
+        for k in range(batch):
+            acc = 0.0
+            for i in range(n):
+                acc += a[k, i] * b[k, i]
+            out[k] = acc
+        return out
+
+    def batched_outer(a, b, out):
+        batch, n = a.shape
+        m = b.shape[1]
+        for k in range(batch):
+            for i in range(n):
+                for j in range(m):
+                    out[k, i, j] = a[k, i] * b[k, j]
+        return out
+
+    return {fn.__name__: fn for fn in (scatter_add, segment_sum, segment_max,
+                                       batched_matvec, batched_dot, batched_outer)}
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-compiled kernel primitives, degrading to NumPy without numba."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        try:
+            import numba
+        except ImportError:
+            numba = None
+        self.jit_active = numba is not None
+        self.exact = not self.jit_active
+        if self.jit_active:
+            self._jit = {key: numba.njit(cache=False)(fn)
+                         for key, fn in _jit_sources().items()}
+
+    # --- scatter / segment reductions ---------------------------------- #
+    def scatter_add(self, target: np.ndarray, indices: np.ndarray,
+                    values: np.ndarray) -> np.ndarray:
+        if not self.jit_active:
+            return super().scatter_add(target, indices, values)
+        values = np.ascontiguousarray(
+            np.broadcast_to(values, np.shape(indices)), dtype=target.dtype)
+        return self._jit["scatter_add"](target,
+                                        np.ascontiguousarray(indices, dtype=np.int64),
+                                        values)
+
+    def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray,
+                    n_segments: int) -> np.ndarray:
+        if not self.jit_active:
+            return super().segment_sum(values, segment_ids, n_segments)
+        return self._jit["segment_sum"](
+            np.ascontiguousarray(values),
+            np.ascontiguousarray(segment_ids, dtype=np.int64), n_segments)
+
+    def segment_max(self, values: np.ndarray, segment_ids: np.ndarray,
+                    n_segments: int, initial: float = 0.0) -> np.ndarray:
+        if not self.jit_active:
+            return super().segment_max(values, segment_ids, n_segments, initial)
+        return self._jit["segment_max"](
+            np.ascontiguousarray(values, dtype=float),
+            np.ascontiguousarray(segment_ids, dtype=np.int64),
+            n_segments, float(initial))
+
+    # --- dense batched linear algebra ----------------------------------- #
+    def batched_matvec(self, matrices: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        if not self.jit_active or matrices.ndim != 3 or vectors.ndim != 2:
+            return super().batched_matvec(matrices, vectors)
+        out = np.empty_like(vectors)
+        return self._jit["batched_matvec"](
+            np.ascontiguousarray(matrices, dtype=float),
+            np.ascontiguousarray(vectors, dtype=float), out)
+
+    def batched_dot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if not self.jit_active or a.ndim != 2 or b.ndim != 2:
+            return super().batched_dot(a, b)
+        out = np.empty(a.shape[0])
+        return self._jit["batched_dot"](
+            np.ascontiguousarray(a, dtype=float),
+            np.ascontiguousarray(b, dtype=float), out)
+
+    def batched_outer(self, a: np.ndarray, b: np.ndarray,
+                      out: np.ndarray | None = None) -> np.ndarray:
+        if not self.jit_active:
+            return super().batched_outer(a, b, out=out)
+        if out is None:
+            out = np.empty((a.shape[0], a.shape[1], b.shape[1]))
+        return self._jit["batched_outer"](
+            np.ascontiguousarray(a, dtype=float),
+            np.ascontiguousarray(b, dtype=float), out)

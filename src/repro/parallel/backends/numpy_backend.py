@@ -1,0 +1,71 @@
+"""Reference vectorised NumPy backend — the bitwise verification oracle.
+
+This is the execution path every solver used before the backend registry
+existed, factored behind the :class:`~repro.parallel.backends.base.KernelBackend`
+API.  Every other backend is differential-tested against it: exact backends
+bitwise, JIT backends to :data:`~repro.parallel.backends.base.JIT_TOLERANCE`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.backends.base import check_aligned
+
+
+class NumpyBackend:
+    """Vectorised NumPy execution of the kernel primitive set."""
+
+    name = "numpy"
+    exact = True
+
+    # --- element-wise launches ----------------------------------------- #
+    def launch_over_elements(self, fn: Callable[..., tuple | np.ndarray],
+                             *arrays: np.ndarray) -> tuple | np.ndarray:
+        check_aligned(arrays)
+        return fn(*arrays)
+
+    # --- scatter / segment reductions ---------------------------------- #
+    def scatter_add(self, target: np.ndarray, indices: np.ndarray,
+                    values: np.ndarray) -> np.ndarray:
+        np.add.at(target, indices, values)
+        return target
+
+    def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray,
+                    n_segments: int) -> np.ndarray:
+        out = np.zeros(n_segments, dtype=values.dtype)
+        np.add.at(out, segment_ids, values)
+        return out
+
+    def segment_max(self, values: np.ndarray, segment_ids: np.ndarray,
+                    n_segments: int, initial: float = 0.0) -> np.ndarray:
+        out = np.full(n_segments, -np.inf, dtype=float)
+        np.maximum.at(out, segment_ids, values)
+        return np.where(np.isneginf(out), initial, out)
+
+    # --- dense batched linear algebra ----------------------------------- #
+    def batched_matvec(self, matrices: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        return np.einsum("...ij,...j->...i", matrices, vectors)
+
+    def batched_dot(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.einsum("...i,...i->...", a, b)
+
+    def batched_outer(self, a: np.ndarray, b: np.ndarray,
+                      out: np.ndarray | None = None) -> np.ndarray:
+        if out is not None:
+            return np.einsum("bi,bj->bij", a, b, out=out)
+        return np.einsum("bi,bj->bij", a, b)
+
+    # --- compaction gather / scatter ------------------------------------ #
+    def gather(self, array: np.ndarray, indices: np.ndarray,
+               out: np.ndarray | None = None) -> np.ndarray:
+        if out is not None:
+            return np.take(array, indices, axis=0, out=out)
+        return array[indices]
+
+    def scatter(self, target: np.ndarray, indices: np.ndarray,
+                values: np.ndarray) -> np.ndarray:
+        target[indices] = values
+        return target

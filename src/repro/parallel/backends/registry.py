@@ -1,0 +1,109 @@
+"""Kernel-backend registry and selection.
+
+Backends are registered by name and instantiated lazily (at most once per
+process).  Selection precedence, mirroring the ``REPRO_COMPACTION`` escape
+hatch:
+
+1. an explicit name (or backend instance) passed by the caller — e.g.
+   :attr:`repro.admm.parameters.AdmmParameters.kernel_backend`;
+2. the ``REPRO_BACKEND`` environment variable;
+3. the reference ``"numpy"`` backend.
+
+Third-party backends plug in with::
+
+    from repro.parallel import register_backend
+
+    register_backend("mylib", MyLibBackend)          # factory, built lazily
+    solve_acopf_admm(net, params=AdmmParameters(kernel_backend="mylib"))
+
+Registration is per process: a backend registered in the parent is not
+automatically available inside :class:`~repro.parallel.pool.DevicePool`
+workers — register it at import time of a module the workers also import.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.backends.base import KernelBackend
+from repro.parallel.backends.loop_backend import LoopBackend
+from repro.parallel.backends.numba_backend import NumbaBackend
+from repro.parallel.backends.numpy_backend import NumpyBackend
+
+#: Environment variable naming the default backend (``REPRO_COMPACTION``'s
+#: sibling): any registered name, e.g. ``numpy`` / ``loop`` / ``numba``.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+DEFAULT_BACKEND = "numpy"
+
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend],
+                     *, overwrite: bool = False) -> None:
+    """Register a backend factory (class or zero-argument callable).
+
+    ``name`` becomes selectable via solver options and ``REPRO_BACKEND``.
+    Re-registering an existing name requires ``overwrite=True``; the cached
+    instance (if any) is dropped so the new factory takes effect.
+    """
+    name = str(name).strip().lower()
+    if not name:
+        raise ConfigurationError("backend name must be non-empty")
+    if name in _FACTORIES and not overwrite:
+        raise ConfigurationError(
+            f"kernel backend {name!r} is already registered "
+            "(pass overwrite=True to replace it)")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op for unknown names)."""
+    _FACTORIES.pop(name, None)
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(name: str | KernelBackend | None = None) -> KernelBackend:
+    """Resolve a backend by precedence: explicit name, env var, ``numpy``.
+
+    Accepts a :class:`KernelBackend` instance (returned as-is), a registered
+    name, or ``None`` to consult ``REPRO_BACKEND``.  Unknown names — from
+    either source — raise :class:`~repro.exceptions.ConfigurationError`
+    naming the registered alternatives.
+    """
+    if name is not None and not isinstance(name, str):
+        return name
+    source = "requested"
+    if name is None:
+        env = os.environ.get(BACKEND_ENV_VAR)
+        if env is not None and env.strip():
+            name, source = env, f"{BACKEND_ENV_VAR}"
+        else:
+            name = DEFAULT_BACKEND
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r} ({source}); "
+            f"registered backends: {', '.join(available_backends())}")
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]
+
+
+def default_backend_name() -> str:
+    """The name the current environment resolves to (for metric stamping)."""
+    return get_backend().name
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("loop", LoopBackend)
+register_backend("numba", NumbaBackend)

@@ -47,30 +47,36 @@ class ActiveSet:
     order; ``full_size`` is the resident batch size.  All gathers/scatters
     operate on the leading (batch) axis, so the same map serves ``(B,)``
     vectors, ``(B, n)`` matrices, and ``(B, n, n)`` Hessian stacks.
+
+    ``backend`` optionally routes the gather/scatter memory ops through a
+    :class:`~repro.parallel.backends.base.KernelBackend` (so e.g. a GPU
+    array backend can keep the packing on-device); ``None`` keeps the plain
+    NumPy fancy-indexing path.
     """
 
-    __slots__ = ("indices", "full_size")
+    __slots__ = ("indices", "full_size", "backend")
 
-    def __init__(self, indices: np.ndarray, full_size: int) -> None:
+    def __init__(self, indices: np.ndarray, full_size: int, backend=None) -> None:
         self.indices = np.asarray(indices, dtype=int)
         if self.indices.ndim != 1:
             raise DimensionError("ActiveSet indices must be one-dimensional")
         self.full_size = int(full_size)
+        self.backend = backend
         if self.indices.size and (self.indices.min() < 0
                                   or self.indices.max() >= self.full_size):
             raise DimensionError("ActiveSet indices out of range")
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_mask(cls, mask: np.ndarray) -> "ActiveSet":
+    def from_mask(cls, mask: np.ndarray, backend=None) -> "ActiveSet":
         """Active set of the true rows of a resident-size boolean mask."""
         mask = np.asarray(mask, dtype=bool)
-        return cls(np.flatnonzero(mask), mask.shape[0])
+        return cls(np.flatnonzero(mask), mask.shape[0], backend=backend)
 
     @classmethod
-    def identity(cls, n: int) -> "ActiveSet":
+    def identity(cls, n: int, backend=None) -> "ActiveSet":
         """The trivial map (every resident row active)."""
-        return cls(np.arange(n), n)
+        return cls(np.arange(n), n, backend=backend)
 
     # ------------------------------------------------------------------ #
     @property
@@ -92,17 +98,21 @@ class ActiveSet:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape[0] != self.size:
             raise DimensionError("refine mask must match the packed size")
-        return ActiveSet(self.indices[mask], self.full_size)
+        return ActiveSet(self.indices[mask], self.full_size, backend=self.backend)
 
     # ------------------------------------------------------------------ #
     def gather(self, array: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Pack the active rows of a resident array into a dense sub-batch."""
+        if self.backend is not None:
+            return self.backend.gather(array, self.indices, out=out)
         if out is not None:
             return np.take(array, self.indices, axis=0, out=out)
         return array[self.indices]
 
     def scatter(self, target: np.ndarray, values: np.ndarray) -> np.ndarray:
         """Write packed rows back into the resident array (in place)."""
+        if self.backend is not None:
+            return self.backend.scatter(target, self.indices, values)
         target[self.indices] = values
         return target
 

@@ -75,11 +75,26 @@ class SimulatedDevice:
     ``synchronous`` has no behavioural effect (NumPy execution is always
     synchronous); the flag exists so code written against this interface maps
     one-to-one onto an asynchronous GPU implementation.
+
+    ``backend`` is the name of the kernel backend the launches on this
+    device run with (stamped into :meth:`as_dict` so per-kernel metrics and
+    ``BENCH_*.json`` records are attributable per backend); the solvers set
+    it when they resolve their backend, and ``None`` resolves to whatever
+    the environment (``REPRO_BACKEND``) selects at snapshot time.
     """
 
     name: str = "simulated-gpu"
     synchronous: bool = True
     kernels: dict[str, KernelRecord] = field(default_factory=lambda: defaultdict(KernelRecord))
+    backend: str | None = None
+
+    @property
+    def backend_name(self) -> str:
+        """The stamped backend name, env-resolved when never set."""
+        if self.backend is not None:
+            return self.backend
+        from repro.parallel.backends.registry import default_backend_name
+        return default_backend_name()
 
     def launch(self, kernel_name: str, fn: Callable[..., Any], *args: Any,
                elements: int | None = None, active_elements: int | None = None,
@@ -118,13 +133,15 @@ class SimulatedDevice:
         """Machine-readable snapshot for the benchmark harness."""
         return {
             "device": self.name,
+            "backend": self.backend_name,
             "total_seconds": self.total_kernel_seconds(),
             "kernels": {name: rec.as_dict() for name, rec in sorted(self.kernels.items())},
         }
 
     def report(self) -> str:
         """Human-readable per-kernel timing / throughput table."""
-        lines = [f"device {self.name}: {self.total_kernel_seconds():.3f} s in kernels"]
+        lines = [f"device {self.name} (backend {self.backend_name}): "
+                 f"{self.total_kernel_seconds():.3f} s in kernels"]
         for name in sorted(self.kernels):
             rec = self.kernels[name]
             line = (f"  {name:<28} launches={rec.launches:<7d} "
@@ -147,8 +164,12 @@ def merge_device_dicts(snapshots: Iterable[dict[str, Any]],
     """
     merged: dict[str, KernelRecord] = defaultdict(KernelRecord)
     total_seconds = 0.0
+    backends: set[str] = set()
     for snapshot in snapshots:
         total_seconds += float(snapshot.get("total_seconds", 0.0))
+        backend = snapshot.get("backend")
+        if backend:
+            backends.add(str(backend))
         for kernel_name, stats in snapshot.get("kernels", {}).items():
             record = merged[kernel_name]
             record.launches += int(stats.get("launches", 0))
@@ -157,6 +178,9 @@ def merge_device_dicts(snapshots: Iterable[dict[str, Any]],
             record.total_active_elements += int(stats.get("total_active_elements", 0))
     return {
         "device": name,
+        # a fleet normally runs one backend everywhere; a mixed merge keeps
+        # every contributing name so the mismatch is visible downstream
+        "backend": "+".join(sorted(backends)) if backends else None,
         "total_seconds": total_seconds,
         "kernels": {kernel_name: record.as_dict()
                     for kernel_name, record in sorted(merged.items())},

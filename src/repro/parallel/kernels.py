@@ -1,20 +1,26 @@
-"""Element-wise kernel helpers.
+"""Element-wise kernel helpers — deprecated aliases onto the backend layer.
 
-These helpers make the "one thread per element" structure of the paper's
-closed-form updates explicit: an element-wise kernel is a function of aligned
-arrays returning aligned arrays, with no reduction or cross-element
-dependency, so it could be launched verbatim as a CUDA kernel.  The default
-execution is vectorised NumPy; a ``python_loop`` mode exists purely so tests
-can verify that the vectorised kernels really are element-wise.
+These free functions were the original kernel API; the hot sweeps now go
+through the pluggable :mod:`repro.parallel.backends` registry instead (one
+:class:`~repro.parallel.backends.base.KernelBackend` per execution
+strategy, with the NumPy backend as the bitwise oracle).  The functions are
+kept as thin aliases onto the reference backends so existing imports keep
+working; new code should resolve a backend via
+:func:`repro.parallel.backends.get_backend` and call its methods.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
-from repro.exceptions import DimensionError
+from repro.parallel.backends.loop_backend import LoopBackend
+from repro.parallel.backends.numpy_backend import NumpyBackend
+
+#: Module-level reference instances backing the deprecated aliases.
+_NUMPY = NumpyBackend()
+_LOOP = LoopBackend()
 
 
 def elementwise_kernel(fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
@@ -31,40 +37,24 @@ def launch_over_elements(fn: Callable[..., tuple | np.ndarray], *arrays: np.ndar
                          python_loop: bool = False) -> tuple | np.ndarray:
     """Execute an element-wise kernel over aligned 1-D arrays.
 
-    With ``python_loop=False`` (the default) the kernel is called once on the
-    full arrays — the vectorised execution used everywhere in production.
-    With ``python_loop=True`` it is called once per element and the results
-    are reassembled; tests use this to prove element independence.
+    Deprecated alias: ``python_loop=False`` runs the vectorised NumPy
+    backend, ``python_loop=True`` the per-element
+    :class:`~repro.parallel.backends.loop_backend.LoopBackend` (which for a
+    zero-length launch returns a correctly-shaped empty result instead of
+    silently invoking the vectorised path).
     """
-    if not arrays:
-        raise DimensionError("launch_over_elements needs at least one array argument")
-    length = arrays[0].shape[0]
-    for arr in arrays:
-        if arr.shape[0] != length:
-            raise DimensionError("all kernel arguments must share their leading dimension")
-    if not python_loop:
-        return fn(*arrays)
-
-    per_element = [fn(*(arr[i:i + 1] for arr in arrays)) for i in range(length)]
-    if not per_element:
-        return fn(*arrays)
-    if isinstance(per_element[0], tuple):
-        n_out = len(per_element[0])
-        return tuple(np.concatenate([out[k] for out in per_element]) for k in range(n_out))
-    return np.concatenate(per_element)
+    backend = _LOOP if python_loop else _NUMPY
+    return backend.launch_over_elements(fn, *arrays)
 
 
 def scatter_add(target: np.ndarray, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Atomic-add analogue: accumulate ``values`` into ``target`` at ``indices``."""
-    np.add.at(target, indices, values)
-    return target
+    return _NUMPY.scatter_add(target, indices, values)
 
 
 def segment_sum(values: np.ndarray, segment_ids: np.ndarray, n_segments: int) -> np.ndarray:
     """Sum ``values`` grouped by ``segment_ids`` (the reduction kernel analogue)."""
-    out = np.zeros(n_segments, dtype=values.dtype)
-    np.add.at(out, segment_ids, values)
-    return out
+    return _NUMPY.segment_sum(values, segment_ids, n_segments)
 
 
 def segment_max(values: np.ndarray, segment_ids: np.ndarray, n_segments: int,
@@ -75,6 +65,4 @@ def segment_max(values: np.ndarray, segment_ids: np.ndarray, n_segments: int,
     floating-point sum, a max is order-independent, so segment results are
     bitwise identical to per-scenario reductions on unstacked arrays.
     """
-    out = np.full(n_segments, -np.inf, dtype=float)
-    np.maximum.at(out, segment_ids, values)
-    return np.where(np.isneginf(out), initial, out)
+    return _NUMPY.segment_max(values, segment_ids, n_segments, initial=initial)

@@ -94,8 +94,16 @@ class QuadraticBatchProblem:
 
 def solve_batch(problem: BatchProblem, x0: np.ndarray,
                 options: TronOptions | None = None,
-                backend: str = "batched") -> TronResult:
-    """Solve every problem in the batch and return the stacked result."""
+                backend: str = "batched",
+                kernel_backend=None) -> TronResult:
+    """Solve every problem in the batch and return the stacked result.
+
+    ``backend`` picks the execution *strategy* (vectorised vs one-problem
+    loop); ``kernel_backend`` picks the kernel *implementation* the driver's
+    dense products and compaction gathers run with (a
+    :class:`~repro.parallel.backends.base.KernelBackend` or registered
+    name; ``None`` resolves the ``REPRO_BACKEND`` environment default).
+    """
     if backend not in BACKENDS:
         raise ConfigurationError(f"unknown TRON backend {backend!r}; choose from {BACKENDS}")
     x0 = np.atleast_2d(np.asarray(x0, dtype=float))
@@ -108,7 +116,8 @@ def solve_batch(problem: BatchProblem, x0: np.ndarray,
                 return sub.objective, sub.gradient, sub.hessian
         return tron_solve_batch(problem.objective, problem.gradient, problem.hessian,
                                 x0, problem.lb, problem.ub, options,
-                                select_rows=select_rows)
+                                select_rows=select_rows,
+                                kernel_backend=kernel_backend)
 
     # Loop backend: run the same algorithm one problem at a time.
     batch = x0.shape[0]
@@ -135,7 +144,8 @@ def solve_batch(problem: BatchProblem, x0: np.ndarray,
             def hess(x: np.ndarray, _i=b) -> np.ndarray:
                 return _call_single(problem.hessian, x, _i, batch)
 
-        res = tron_solve_batch(obj, grad, hess, x0[idx], lb[idx], ub[idx], options)
+        res = tron_solve_batch(obj, grad, hess, x0[idx], lb[idx], ub[idx], options,
+                               kernel_backend=kernel_backend)
         xs.append(res.x[0])
         fs.append(res.f[0])
         pgs.append(res.projected_gradient_norm[0])

@@ -18,18 +18,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel.backends import get_backend
 from repro.tron.projection import project
 
 
-def _quadratic_model(g: np.ndarray, hess: np.ndarray, s: np.ndarray) -> np.ndarray:
+def _quadratic_model(g: np.ndarray, hess: np.ndarray, s: np.ndarray,
+                     backend=None) -> np.ndarray:
     """Evaluate ``q(s) = gᵀs + ½ sᵀHs`` per problem."""
-    hs = np.einsum("...ij,...j->...i", hess, s)
-    return np.einsum("...i,...i->...", g, s) + 0.5 * np.einsum("...i,...i->...", s, hs)
+    kb = get_backend(backend)
+    hs = kb.batched_matvec(hess, s)
+    return kb.batched_dot(g, s) + 0.5 * kb.batched_dot(s, hs)
 
 
 def cauchy_point(x: np.ndarray, g: np.ndarray, hess: np.ndarray, delta: np.ndarray,
                  lb: np.ndarray, ub: np.ndarray, mu0: float = 1e-2,
-                 max_steps: int = 25) -> tuple[np.ndarray, np.ndarray]:
+                 max_steps: int = 25, backend=None) -> tuple[np.ndarray, np.ndarray]:
     """Compute the Cauchy step for each problem in the batch.
 
     Parameters
@@ -53,12 +56,13 @@ def cauchy_point(x: np.ndarray, g: np.ndarray, hess: np.ndarray, delta: np.ndarr
         The accepted step size per problem ``(B,)`` (zero where no acceptable
         step was found — the driver then shrinks the trust region).
     """
+    kb = get_backend(backend)
     gnorm = np.linalg.norm(g, axis=-1)
     positive = gnorm > 0
     safe_gnorm = np.where(positive, gnorm, 1.0)
 
-    hg = np.einsum("...ij,...j->...i", hess, g)
-    ghg = np.einsum("...i,...i->...", g, hg)
+    hg = kb.batched_matvec(hess, g)
+    ghg = kb.batched_dot(g, hg)
     alpha_tr = delta / safe_gnorm
     with np.errstate(divide="ignore", invalid="ignore"):
         alpha_newton = np.where(ghg > 0, gnorm * gnorm / np.where(ghg > 0, ghg, 1.0), np.inf)
@@ -68,8 +72,8 @@ def cauchy_point(x: np.ndarray, g: np.ndarray, hess: np.ndarray, delta: np.ndarr
         return project(xs - alpha_vec[..., None] * gs, lbs, ubs) - xs
 
     def acceptable(s: np.ndarray, gs, hs, ds) -> np.ndarray:
-        grad_dot = np.einsum("...i,...i->...", gs, s)
-        q = _quadratic_model(gs, hs, s)
+        grad_dot = kb.batched_dot(gs, s)
+        q = _quadratic_model(gs, hs, s, backend=kb)
         within = np.linalg.norm(s, axis=-1) <= ds * (1.0 + 1e-10)
         return (q <= mu0 * grad_dot) & within
 

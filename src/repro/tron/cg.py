@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel.backends import get_backend
+
 
 @dataclass(frozen=True)
 class CgResult:
@@ -44,7 +46,7 @@ def _boundary_step(w: np.ndarray, d: np.ndarray, radius: np.ndarray) -> np.ndarr
 
 def steihaug_cg(hess: np.ndarray, rhs: np.ndarray, radius: np.ndarray,
                 free_mask: np.ndarray, tol: float = 0.1,
-                max_iter: int | None = None) -> CgResult:
+                max_iter: int | None = None, backend=None) -> CgResult:
     """Approximately solve the batched trust-region subproblems.
 
     Parameters
@@ -61,7 +63,11 @@ def steihaug_cg(hess: np.ndarray, rhs: np.ndarray, radius: np.ndarray,
         Relative residual-reduction target.
     max_iter:
         Cap on CG iterations (default ``n + 1``).
+    backend:
+        Kernel backend for the Hessian-vector products and inner products
+        (``None`` resolves the ``REPRO_BACKEND`` environment default).
     """
+    kb = get_backend(backend)
     batch, n = rhs.shape
     if max_iter is None:
         max_iter = n + 1
@@ -72,7 +78,7 @@ def steihaug_cg(hess: np.ndarray, rhs: np.ndarray, radius: np.ndarray,
     d = r.copy()
     r_norm0 = np.linalg.norm(r, axis=-1)
     active = (r_norm0 > 1e-14) & (radius > 0)
-    rr = np.einsum("...i,...i->...", r, r)
+    rr = kb.batched_dot(r, r)
 
     iterations = np.zeros(batch, dtype=int)
     hit_boundary = np.zeros(batch, dtype=bool)
@@ -81,8 +87,8 @@ def steihaug_cg(hess: np.ndarray, rhs: np.ndarray, radius: np.ndarray,
     for _ in range(max_iter):
         if not active.any():
             break
-        hd = np.einsum("...ij,...j->...i", hess, d) * free
-        curv = np.einsum("...i,...i->...", d, hd)
+        hd = kb.batched_matvec(hess, d) * free
+        curv = kb.batched_dot(d, hd)
 
         # Negative (or zero) curvature: follow d to the boundary and stop.
         neg = active & (curv <= 0.0)
@@ -105,7 +111,7 @@ def steihaug_cg(hess: np.ndarray, rhs: np.ndarray, radius: np.ndarray,
 
         w = np.where(active[..., None], w_trial, w)
         r_new = r - alpha[..., None] * hd
-        rr_new = np.einsum("...i,...i->...", r_new, r_new)
+        rr_new = kb.batched_dot(r_new, r_new)
         iterations = iterations + active.astype(int)
 
         converged = active & (np.sqrt(rr_new) <= tol * r_norm0)

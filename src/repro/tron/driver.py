@@ -35,6 +35,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import DimensionError
+from repro.parallel.backends import get_backend
 from repro.parallel.compaction import ActiveSet, compaction_enabled
 from repro.tron.cauchy import cauchy_point, _quadratic_model
 from repro.tron.cg import steihaug_cg
@@ -76,7 +77,8 @@ class TronResult:
 def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: HessianFn,
                      x0: np.ndarray, lb: np.ndarray, ub: np.ndarray,
                      options: TronOptions | None = None,
-                     select_rows: SelectRowsFn | None = None) -> TronResult:
+                     select_rows: SelectRowsFn | None = None,
+                     kernel_backend=None) -> TronResult:
     """Solve a batch of bound-constrained problems with TRON.
 
     Parameters
@@ -98,9 +100,15 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
         as a packed sub-batch.  Callbacks obtained this way must be
         row-separable (problem ``i``'s values independent of the other rows
         in the batch) so that packed sweeps reproduce full sweeps bitwise.
+    kernel_backend:
+        :class:`~repro.parallel.backends.base.KernelBackend` (or registered
+        name) executing the driver's dense batched products, the Cauchy/CG
+        subproblems, and the compaction gathers/scatters; ``None`` resolves
+        the ``REPRO_BACKEND`` environment default (the NumPy oracle).
     """
     options = options or TronOptions()
     options.validate()
+    kb = get_backend(kernel_backend)
 
     x0 = np.atleast_2d(np.asarray(x0, dtype=float))
     lb = np.broadcast_to(np.asarray(lb, dtype=float), x0.shape)
@@ -161,7 +169,7 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
             # continue exactly the trajectory they were on.
             if window is None:
                 resident = (x, f, g, delta, iterations, converged, pgnorm)
-                window = ActiveSet.from_mask(active)
+                window = ActiveSet.from_mask(active, backend=kb)
             else:
                 flush()
                 window = window.refine(active)
@@ -177,16 +185,17 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
 
         # --- Cauchy point -------------------------------------------------
         s_cauchy, _ = cauchy_point(x, g, hess, delta, lb_w, ub_w,
-                                   mu0=options.mu0, max_steps=options.cauchy_max_steps)
+                                   mu0=options.mu0, max_steps=options.cauchy_max_steps,
+                                   backend=kb)
         x_cauchy = project(x + s_cauchy, lb_w, ub_w)
         s_cauchy = x_cauchy - x
 
         # --- CG refinement on the free subspace ---------------------------
-        model_grad = g + np.einsum("...ij,...j->...i", hess, s_cauchy)
+        model_grad = g + kb.batched_matvec(hess, s_cauchy)
         free = free_variable_mask(x_cauchy, model_grad, lb_w, ub_w)
         radius_left = np.maximum(delta - np.linalg.norm(s_cauchy, axis=-1), 0.0)
         cg = steihaug_cg(hess, -model_grad, radius_left, free,
-                         tol=options.cg_tol, max_iter=max_cg)
+                         tol=options.cg_tol, max_iter=max_cg, backend=kb)
 
         # --- projected step back into the box ------------------------------
         step_len = max_feasible_step(x_cauchy, cg.step, lb_w, ub_w, cap=1.0)
@@ -194,7 +203,7 @@ def tron_solve_batch(objective: ObjectiveFn, gradient: GradientFn, hessian: Hess
         x_trial = project(x + s, lb_w, ub_w)
         s = x_trial - x
 
-        predicted = -_quadratic_model(g, hess, s)
+        predicted = -_quadratic_model(g, hess, s, backend=kb)
         f_trial = np.asarray(obj_fn(x_trial), dtype=float)
         n_feval += 1
         actual = f - f_trial

@@ -141,6 +141,24 @@ class TestCheckFile:
         ok, message = check(results, baselines)
         assert ok and "worker_count mismatch" in message
 
+    def test_kernel_backend_mismatch_skips(self, dirs):
+        # a REPRO_BACKEND=numba run must never be gated against the
+        # committed NumPy baseline (different kernels, different machine)
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0, backend="numpy"))
+        write(results, NAME, artifact(0.1, backend="numba"))
+        ok, message = check(results, baselines)
+        assert ok and "kernel-backend mismatch" in message
+
+    def test_missing_backend_stamp_means_numpy(self, dirs):
+        # artifacts from before the stamp existed were all NumPy-produced,
+        # so they stay comparable to freshly stamped NumPy runs
+        results, baselines = dirs
+        write(baselines, NAME, artifact(2.0))  # no "backend" key
+        write(results, NAME, artifact(2.1, backend="numpy"))
+        ok, message = check(results, baselines)
+        assert ok and message.startswith("OK")
+
     def test_tracking_artifact_is_gated_on_iteration_speedup(self, dirs):
         results, baselines = dirs
         name = "BENCH_tracking.json"
