@@ -58,7 +58,7 @@ def assert_identical_per_period(pooled, reference) -> None:
             assert np.array_equal(a.va, b.va)
 
 
-def test_tracking_warm_start_iteration_ratio(benchmark, smoke, bench_writer):
+def test_tracking_warm_start_iteration_ratio(benchmark, smoke, bench_merger):
     case = bench_tracking_case()
     network = load_case(case)
     n_scenarios = 2 if smoke else 8
@@ -112,7 +112,7 @@ def test_tracking_warm_start_iteration_ratio(benchmark, smoke, bench_writer):
         f"{cold.total_inner_iterations} cold)")
     assert makespan_speedup >= 1.5
 
-    bench_writer(RESULT_PATH, {
+    bench_merger(RESULT_PATH, {
         "benchmark": "tracking_throughput",
         "case": case,
         "scenarios": [s.name for s in fleet.scenarios],

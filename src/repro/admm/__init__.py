@@ -28,12 +28,27 @@ from repro.admm.batch_solver import (
     solve_acopf_admm_batch,
     solve_scenario_shard,
 )
-from repro.admm.parameters import AdmmParameters, suggest_penalties
+from repro.admm.parameters import (
+    AdmmParameters,
+    parameters_for_case,
+    suggest_penalties,
+)
+from repro.admm.penalty import (
+    apply_residual_balancing,
+    balanced_penalties,
+    scenario_penalties,
+    seed_penalties,
+)
 from repro.admm.solver import AdmmSolution, AdmmSolver, solve_acopf_admm
 
 __all__ = [
     "AdmmParameters",
+    "parameters_for_case",
     "suggest_penalties",
+    "apply_residual_balancing",
+    "balanced_penalties",
+    "scenario_penalties",
+    "seed_penalties",
     "AdmmSolution",
     "AdmmSolver",
     "solve_acopf_admm",

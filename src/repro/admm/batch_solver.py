@@ -38,6 +38,12 @@ from repro.admm.bus_update import update_buses
 from repro.admm.data import COUPLING_GROUPS, ComponentData
 from repro.admm.generator_update import update_generators
 from repro.admm.parameters import AdmmParameters, suggest_penalties
+from repro.admm.penalty import (
+    apply_residual_balancing,
+    flush_scenario_penalties,
+    scenario_penalties,
+    seed_penalties,
+)
 from repro.admm.residuals import compute_residuals
 from repro.admm.solver import AdmmIterationLog, AdmmSolution
 from repro.admm.state import (
@@ -86,10 +92,14 @@ class BatchAdmmSolver:
         self.params = params if params is not None else AdmmParameters()
         self.params.validate()
         per_scenario = [scenario_parameters(s, params) for s in self.scenarios]
+        #: Construction-time (rho_pq, rho_va) per scenario — the fixed values
+        #: the adaptive path restarts from when no seeds are supplied.
+        self.initial_penalties: list[tuple[float, float]] = [
+            (p.rho_pq, p.rho_va) for p in per_scenario]
         self.data = ComponentData.from_scenarios(
             networks=self.scenarios.networks,
             params=self.params,
-            penalties=[(p.rho_pq, p.rho_va) for p in per_scenario],
+            penalties=list(self.initial_penalties),
             names=self.scenarios.names)
         self.backend = get_backend(self.params.kernel_backend)
         self.device = device or SimulatedDevice()
@@ -144,6 +154,7 @@ class BatchAdmmSolver:
     # ------------------------------------------------------------------ #
     def solve(self, time_limit: float | None = None,
               warm_start: Sequence[AdmmState | None] | None = None,
+              penalties: Sequence[tuple[float, float] | None] | None = None,
               ) -> list[AdmmSolution]:
         """Run the stacked two-level loop; one solution per scenario.
 
@@ -155,6 +166,17 @@ class BatchAdmmSolver:
         the loop from where a previous solve of the same scenarios stopped.
         As with the single-network solver's warm start, the outer level
         restarts (``β`` back to ``beta_init``, outer iteration 1).
+
+        ``penalties`` optionally seeds per-scenario ``(rho_pq, rho_va)``
+        starting points (``None`` entries keep that scenario's
+        construction-time values) — the tracking pipeline's ρ-cache hands a
+        scenario's previously *converged* penalties back in here, alongside
+        its warm state.  Under ``params.adaptive_rho`` the penalties then
+        keep adapting from that seed; with adaptation off the seeds simply
+        pin the fixed penalties of this solve.  When ``adaptive_rho`` is on
+        and no seeds are given, the construction-time penalties are
+        rewritten first, so a reused solver never inherits the previous
+        solve's adapted values (each solve starts from a defined point).
 
         **Stream compaction.**  A frozen scenario's kernels are pure waste
         (idle thread blocks on the paper's GPU, dead vector width here), so
@@ -175,6 +197,17 @@ class BatchAdmmSolver:
         data_full = self.data
         n_scenarios = data_full.scenario_layout.n_scenarios
         start = time.perf_counter()
+
+        if penalties is not None:
+            if len(penalties) != n_scenarios:
+                raise ConfigurationError(
+                    f"penalties has {len(penalties)} seeds for "
+                    f"{n_scenarios} scenarios")
+            seed = [pair if pair is not None else self.initial_penalties[s]
+                    for s, pair in enumerate(penalties)]
+            seed_penalties(data_full, seed)
+        elif params.adaptive_rho:
+            seed_penalties(data_full, self.initial_penalties)
 
         state_full = cold_start_state(data_full)
         if warm_start is not None:
@@ -209,8 +242,14 @@ class BatchAdmmSolver:
                 # the loop on the narrower arrays.  The resident state is
                 # flushed first; a block stops evolving once compacted away
                 # (its reported solution is always the freeze-time snapshot).
+                # Adapted penalties live in the packed data's rho blocks and
+                # must flush with it, or re-selecting from the full arrays
+                # would silently revert every adaptation since the previous
+                # compaction.
                 if state is not state_full:
                     scatter_state_scenarios(data_full, state_full, state, live)
+                    if params.adaptive_rho:
+                        flush_scenario_penalties(data, data_full, live)
                 live = live[active_live]
                 data = data_full.select_scenarios(live)
                 state = select_state_scenarios(data_full, state_full, live)
@@ -253,6 +292,19 @@ class BatchAdmmSolver:
                 | (inner_in_round[live] >= params.max_inner))
             if time_up:
                 round_done = active_live.copy()
+            if params.adaptive_rho:
+                # A scenario whose round continues gets one residual-balancing
+                # step every ``adaptive_rho_interval`` inner iterations — the
+                # same point in the iteration where the sequential solver
+                # adapts, so trajectories stay bitwise sequential.
+                adapt = (active_live & ~round_done
+                         & (inner_in_round[live]
+                            % params.adaptive_rho_interval == 0))
+                if adapt.any():
+                    idx = np.flatnonzero(adapt)
+                    apply_residual_balancing(
+                        data, state, idx, residual.primal_norms[idx],
+                        residual.dual_norms[idx], params)
             if not round_done.any():
                 continue
 
@@ -297,6 +349,8 @@ class BatchAdmmSolver:
 
         if state is not state_full:
             scatter_state_scenarios(data_full, state_full, state, live)
+            if params.adaptive_rho:
+                flush_scenario_penalties(data, data_full, live)
         self.last_state = state_full
         return solutions
 
@@ -327,11 +381,13 @@ class BatchAdmmSolver:
         qg_full[data.gen_index[gen_block]] = scenario_state.qg
 
         metrics = constraint_violation(network, vm, va, pg_full, qg_full)
+        rho_pq, rho_va = scenario_penalties(data, s)
         return AdmmSolution(
             network_name=layout.names[s], vm=vm, va=va, pg=pg_full, qg=qg_full,
             objective=metrics.objective, metrics=metrics, converged=converged,
             outer_iterations=outer_iterations, inner_iterations=inner_iterations,
-            solve_seconds=elapsed, state=scenario_state, iteration_log=list(log))
+            solve_seconds=elapsed, state=scenario_state, iteration_log=list(log),
+            rho_pq=rho_pq, rho_va=rho_va)
 
 
 def extract_scenario_state(data: ComponentData, state: AdmmState, s: int) -> AdmmState:
@@ -412,11 +468,17 @@ class ShardTask:
     time_limit: float | None = None
     warm_states: tuple[AdmmState | None, ...] | None = None
     device_name: str = "shard"
+    penalties: tuple[tuple[float, float] | None, ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.indices) != len(self.scenarios):
             raise ConfigurationError(
                 f"shard has {len(self.indices)} indices for "
+                f"{len(self.scenarios)} scenarios")
+        if (self.penalties is not None
+                and len(self.penalties) != len(self.scenarios)):
+            raise ConfigurationError(
+                f"shard has {len(self.penalties)} penalty seeds for "
                 f"{len(self.scenarios)} scenarios")
 
 
@@ -448,7 +510,8 @@ def solve_scenario_shard(task: ShardTask) -> ShardResult:
     solver = BatchAdmmSolver(task.scenarios, params=task.params, device=device)
     start = time.perf_counter()
     solutions = solver.solve(time_limit=task.time_limit,
-                             warm_start=task.warm_states)
+                             warm_start=task.warm_states,
+                             penalties=task.penalties)
     seconds = time.perf_counter() - start
     return ShardResult(indices=task.indices, solutions=solutions,
                        device=device.as_dict(), seconds=seconds)

@@ -81,6 +81,28 @@ class AdmmParameters:
     objective_scale:
         Multiplier applied to the generation cost inside the ADMM (the paper
         scales the 70k case by 2 to counteract large penalties).
+    adaptive_rho:
+        Opt-in residual-balancing penalty adaptation (Boyd et al., §3.4.1),
+        applied **per scenario** between inner sweeps: a scenario whose
+        primal residual norm dominates its dual norm by
+        ``adaptive_rho_ratio`` grows both its penalties by
+        ``adaptive_rho_factor`` (and shrinks them in the mirror case), with
+        the matching ``y``-multiplier rescale so the scaled-dual iteration
+        stays consistent.  Off by default: the fixed-ρ path is bitwise
+        identical to a build without this feature.
+    adaptive_rho_ratio:
+        Residual imbalance (μ) that triggers an adaptation step; must be
+        at least 1.
+    adaptive_rho_factor:
+        Multiplicative step (τ) of one adaptation; must exceed 1.
+    adaptive_rho_interval:
+        Inner iterations between adaptation checks within a round (the
+        OSQP-style cadence).  A scenario only adapts when its inner
+        iteration count within the current round is a multiple of this, so
+        a warm-started round that converges sooner never perturbs its
+        penalties at all.
+    adaptive_rho_min, adaptive_rho_max:
+        Clamp bounds of the adapted penalties.
     verbose:
         Log one line per inner iteration block when true.
     """
@@ -110,6 +132,12 @@ class AdmmParameters:
     kernel_backend: str | None = None
     compaction_threshold: float = 1.0
     objective_scale: float = 1.0
+    adaptive_rho: bool = False
+    adaptive_rho_ratio: float = 5.0
+    adaptive_rho_factor: float = 2.0
+    adaptive_rho_interval: int = 8
+    adaptive_rho_min: float = 1e-2
+    adaptive_rho_max: float = 1e12
     verbose: bool = False
 
     def validate(self) -> None:
@@ -124,6 +152,30 @@ class AdmmParameters:
             raise ConfigurationError("beta_contraction must lie in (0, 1)")
         if self.outer_tol <= 0:
             raise ConfigurationError("outer_tol must be positive")
+        if (self.inner_tol_primal <= 0 or self.inner_tol_dual <= 0
+                or self.inner_tol_initial <= 0):
+            raise ConfigurationError("inner tolerances must be positive")
+        if not (0 < self.inner_tol_decay <= 1):
+            raise ConfigurationError("inner_tol_decay must lie in (0, 1]")
+        if self.min_inner_iterations < 0:
+            raise ConfigurationError("min_inner_iterations must be non-negative")
+        if (self.auglag_penalty_init <= 0 or self.auglag_penalty_factor <= 0
+                or self.auglag_penalty_max <= 0):
+            raise ConfigurationError("auglag penalties must be positive")
+        if self.objective_scale <= 0:
+            raise ConfigurationError("objective_scale must be positive")
+        if self.adaptive_rho_ratio < 1:
+            raise ConfigurationError("adaptive_rho_ratio must be at least 1")
+        if self.adaptive_rho_factor <= 1:
+            raise ConfigurationError("adaptive_rho_factor must exceed 1")
+        if self.adaptive_rho_interval < 1:
+            raise ConfigurationError(
+                "adaptive_rho_interval must be at least 1")
+        if self.adaptive_rho_min <= 0:
+            raise ConfigurationError("adaptive_rho_min must be positive")
+        if self.adaptive_rho_max < self.adaptive_rho_min:
+            raise ConfigurationError(
+                "adaptive_rho_max must be at least adaptive_rho_min")
         if self.tron_backend not in ("batched", "loop"):
             raise ConfigurationError("tron_backend must be 'batched' or 'loop'")
         if self.kernel_backend is not None:
@@ -164,7 +216,13 @@ def suggest_penalties(network: Network) -> tuple[float, float]:
 
 
 def parameters_for_case(network: Network, **overrides) -> AdmmParameters:
-    """Build :class:`AdmmParameters` with Table-I-style penalties for a case."""
+    """Build :class:`AdmmParameters` with Table-I-style penalties for a case.
+
+    Explicit ``rho_pq`` / ``rho_va`` overrides win over the
+    :func:`suggest_penalties` heuristic — the documented path for pinning
+    Table-I-style penalties on a case the heuristic would size differently.
+    """
     rho_pq, rho_va = suggest_penalties(network)
-    params = AdmmParameters(rho_pq=rho_pq, rho_va=rho_va, **overrides)
-    return params
+    overrides.setdefault("rho_pq", rho_pq)
+    overrides.setdefault("rho_va", rho_va)
+    return AdmmParameters(**overrides)

@@ -1,0 +1,165 @@
+"""Residual-balancing penalty (ρ) adaptation, per scenario.
+
+The policy is Boyd et al. §3.4.1 applied independently to every scenario of
+a batch: a scenario whose primal residual norm dominates its dual norm by
+``adaptive_rho_ratio`` (μ) grows both of its penalty families by
+``adaptive_rho_factor`` (τ); the mirror imbalance shrinks them; either step
+clamps to ``[adaptive_rho_min, adaptive_rho_max]``.  Whenever a penalty
+changes, the corresponding (unscaled) multipliers are rescaled by
+``new / old`` so that the scaled dual variable ``u = y / ρ`` carries over
+continuously and the next sweep's proximal terms stay consistent.
+
+Penalties are written back into ``ComponentData.rho`` as whole-scenario
+blocks — the within-scenario-constant invariant that ``_scenario_rho`` (and
+hence the dual-residual scale, stream compaction, and select/scatter
+round-trips) relies on.  The scalar-rho layout (``from_network``) and the
+stacked per-element layout (``from_scenarios``) go through the exact same
+float arithmetic, which is what keeps an S=1 batched adaptive solve bitwise
+identical to the sequential adaptive solve.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.admm.data import COUPLING_GROUPS, POWER_GROUPS, ComponentData
+from repro.admm.residuals import _scenario_rho
+from repro.admm.state import AdmmState
+from repro.exceptions import ConfigurationError
+
+
+def balanced_penalties(primal: float, dual: float, rho_pq: float,
+                       rho_va: float, params) -> tuple[float, float]:
+    """One residual-balancing step of a scenario's penalty pair.
+
+    Returns the (possibly unchanged) ``(rho_pq, rho_va)``: both families
+    move together by τ when the scenario's relative residuals are out of
+    balance by more than μ, clamped to the configured bounds.
+    """
+    if primal > params.adaptive_rho_ratio * dual:
+        factor = params.adaptive_rho_factor
+    elif dual > params.adaptive_rho_ratio * primal:
+        factor = 1.0 / params.adaptive_rho_factor
+    else:
+        return rho_pq, rho_va
+    lo, hi = params.adaptive_rho_min, params.adaptive_rho_max
+    new_pq = min(max(rho_pq * factor, lo), hi)
+    new_va = min(max(rho_va * factor, lo), hi)
+    return new_pq, new_va
+
+
+def scenario_penalties(data: ComponentData, scenario: int) -> tuple[float, float]:
+    """A scenario's current ``(rho_pq, rho_va)`` read from ``data.rho``.
+
+    The power-family value comes from the generator groups (falling back to
+    the branch groups for generator-free scenarios); the voltage family from
+    the bus-side groups.  Raises if a family is non-constant within the
+    scenario (via :func:`repro.admm.residuals._scenario_rho`).
+    """
+    rho_pq = _scenario_rho(data, "gp", scenario)
+    if rho_pq == 0.0:
+        rho_pq = _scenario_rho(data, "pij", scenario)
+    rho_va = _scenario_rho(data, "wi", scenario)
+    return rho_pq, rho_va
+
+
+def _write_family(data: ComponentData, state: AdmmState | None, group: str,
+                  scenario: int, old: float, new: float) -> None:
+    """Set one group's penalty for one scenario, rescaling ``y`` if asked.
+
+    ``state is None`` writes the penalty without touching the multipliers —
+    the solve-entry seeding path, where the warm-started ``y`` already
+    corresponds to the seeded penalties.
+    """
+    rho = data.rho[group]
+    if np.ndim(rho) == 0:
+        data.rho[group] = new
+    else:
+        rho[data.group_block(group, scenario)] = new
+    if state is not None and old > 0.0:
+        factor = new / old
+        block = data.group_block(group, scenario)
+        state.y[group][block] = state.y[group][block] * factor
+
+
+def apply_residual_balancing(data: ComponentData, state: AdmmState,
+                             scenarios: Sequence[int],
+                             primal_norms: np.ndarray,
+                             dual_norms: np.ndarray,
+                             params) -> int:
+    """Adapt the listed scenarios' penalties in place; return how many moved.
+
+    ``scenarios`` indexes into the (possibly compacted) ``data`` / ``state``,
+    matching the order of ``primal_norms`` / ``dual_norms``.  Each scenario's
+    multipliers are rescaled by ``new / old`` per penalty family so the
+    scaled-dual iteration stays consistent across the change.
+    """
+    changed = 0
+    for position, scenario in enumerate(scenarios):
+        old_pq, old_va = scenario_penalties(data, scenario)
+        new_pq, new_va = balanced_penalties(
+            float(primal_norms[position]), float(dual_norms[position]),
+            old_pq, old_va, params)
+        if new_pq == old_pq and new_va == old_va:
+            continue
+        changed += 1
+        for group in COUPLING_GROUPS:
+            old = old_pq if group in POWER_GROUPS else old_va
+            new = new_pq if group in POWER_GROUPS else new_va
+            if new != old:
+                _write_family(data, state, group, scenario, old, new)
+    return changed
+
+
+def flush_scenario_penalties(src: ComponentData, dst: ComponentData,
+                             scenario_ids: Sequence[int]) -> None:
+    """Copy per-scenario penalties from compacted ``src`` back into ``dst``.
+
+    ``scenario_ids[p]`` names the scenario of ``dst`` that position ``p`` of
+    ``src`` holds — the ``live`` map of the batched solver's stream
+    compaction.  Without this flush, adaptation steps taken *after* a
+    compaction (which writes into a packed copy of the data) would be lost
+    the next time the solver re-selects scenarios from the full arrays.
+    No multiplier rescale: the flushed values are the penalties the live
+    multipliers already correspond to.
+    """
+    for position, scenario in enumerate(scenario_ids):
+        rho_pq, rho_va = scenario_penalties(src, position)
+        old_pq, old_va = scenario_penalties(dst, scenario)
+        for group in COUPLING_GROUPS:
+            old = old_pq if group in POWER_GROUPS else old_va
+            new = rho_pq if group in POWER_GROUPS else rho_va
+            if new != old:
+                _write_family(dst, None, group, scenario, old, new)
+
+
+def seed_penalties(data: ComponentData,
+                   penalties: Sequence[tuple[float, float] | None]) -> None:
+    """Write per-scenario ``(rho_pq, rho_va)`` seeds into ``data.rho``.
+
+    No multiplier rescale happens here: seeding runs at solve entry, where
+    any warm-started ``y`` was produced under (and cached alongside) exactly
+    these penalties — the write just makes ``data.rho`` agree with them,
+    the same way a fresh solver built with those penalties would start.
+    ``None`` entries leave that scenario's current penalties alone.
+    """
+    if len(penalties) != data.n_scenarios:
+        raise ConfigurationError(
+            f"got {len(penalties)} penalty seeds for "
+            f"{data.n_scenarios} scenarios")
+    for scenario, pair in enumerate(penalties):
+        if pair is None:
+            continue
+        rho_pq, rho_va = pair
+        if not (rho_pq > 0 and rho_va > 0):
+            raise ConfigurationError(
+                f"penalty seed for scenario {scenario} must be positive, "
+                f"got ({rho_pq}, {rho_va})")
+        old_pq, old_va = scenario_penalties(data, scenario)
+        for group in COUPLING_GROUPS:
+            old = old_pq if group in POWER_GROUPS else old_va
+            new = float(rho_pq) if group in POWER_GROUPS else float(rho_va)
+            if new != old:
+                _write_family(data, None, group, scenario, old, new)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.admm.data import COUPLING_GROUPS, ComponentData
 from repro.admm.state import AdmmState
+from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -50,13 +51,24 @@ def _scenario_rho(data: ComponentData, group: str, scenario: int) -> float:
 
     ``data.rho`` is the single source of truth (callers may hand-tune it);
     within a scenario the per-element arrays are constant by construction,
-    so the block's first entry is the scenario's value.
+    so the block's first entry is the scenario's value.  A block that is
+    *not* constant (a hand-tuned array written without scenario structure)
+    would silently corrupt the dual-residual scale — and desynchronise the
+    adaptive-ρ updater, which rewrites whole blocks — so it is rejected.
     """
     rho = data.rho[group]
     if np.ndim(rho) == 0:
         return float(rho)
     block = rho[data.group_block(group, scenario)]
-    return float(block[0]) if block.size else 0.0
+    if not block.size:
+        return 0.0
+    first = float(block[0])
+    if float(np.max(block)) != first or float(np.min(block)) != first:
+        raise ConfigurationError(
+            f"data.rho[{group!r}] is not constant within scenario {scenario} "
+            f"(spread [{float(np.min(block))}, {float(np.max(block))}]); "
+            "per-scenario penalties must be written per whole scenario block")
+    return first
 
 
 def compute_residuals(data: ComponentData, state: AdmmState,

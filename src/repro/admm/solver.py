@@ -32,6 +32,7 @@ from repro.admm.bus_update import update_buses
 from repro.admm.data import ComponentData
 from repro.admm.generator_update import update_generators
 from repro.admm.parameters import AdmmParameters, parameters_for_case
+from repro.admm.penalty import apply_residual_balancing, scenario_penalties
 from repro.admm.residuals import compute_residuals
 from repro.admm.state import AdmmState, cold_start_state
 from repro.analysis.metrics import SolutionMetrics, constraint_violation
@@ -73,6 +74,11 @@ class AdmmSolution:
     solve_seconds: float
     state: AdmmState
     iteration_log: list[AdmmIterationLog] = field(default_factory=list)
+    #: The penalties in force when the solve stopped — the fixed Table-I
+    #: values normally, the adapted ones under ``adaptive_rho`` (what the
+    #: tracking pipeline's ρ-cache records to seed the next period).
+    rho_pq: float | None = None
+    rho_va: float | None = None
 
     @property
     def max_constraint_violation(self) -> float:
@@ -94,6 +100,7 @@ class AdmmSolver:
         self.device.backend = self.backend.name
         self.workspace = Workspace()
         self.last_state: AdmmState | None = None
+        self._initial_rho = dict(self.data.rho)
 
     # ------------------------------------------------------------------ #
     def solve(self, warm_start: AdmmState | None = None,
@@ -103,6 +110,11 @@ class AdmmSolver:
         data = self.data
         device = self.device
         start = time.perf_counter()
+
+        if params.adaptive_rho:
+            # Each solve adapts ρ from the configured starting point; without
+            # this reset a reused solver would drift across repeated solves.
+            data.rho = dict(self._initial_rho)
 
         if warm_start is None:
             state = cold_start_state(data)
@@ -143,6 +155,11 @@ class AdmmSolver:
                     break
                 if time_limit is not None and time.perf_counter() - start > time_limit:
                     break
+                if (params.adaptive_rho and inner < params.max_inner
+                        and inner % params.adaptive_rho_interval == 0):
+                    apply_residual_balancing(
+                        data, state, range(1), residual.primal_norms,
+                        residual.dual_norms, params)
 
             previous_z_norm = update_outer_level(data, state, previous_z_norm,
                                                  backend=self.backend)
@@ -183,11 +200,13 @@ class AdmmSolver:
         qg_full[data.gen_index] = state.qg
 
         metrics = constraint_violation(network, vm, va, pg_full, qg_full)
+        rho_pq, rho_va = scenario_penalties(data, 0)
         return AdmmSolution(
             network_name=network.name, vm=vm, va=va, pg=pg_full, qg=qg_full,
             objective=metrics.objective, metrics=metrics, converged=converged,
             outer_iterations=state.outer_iteration, inner_iterations=total_inner,
-            solve_seconds=elapsed, state=state, iteration_log=iteration_log)
+            solve_seconds=elapsed, state=state, iteration_log=iteration_log,
+            rho_pq=rho_pq, rho_va=rho_va)
 
 
 def solve_acopf_admm(network: Network, params: AdmmParameters | None = None,

@@ -467,7 +467,7 @@ class DevicePool:
 
     # ------------------------------------------------------------------ #
     def solve(self, scenarios, params=None, time_limit: float | None = None,
-              warm_states=None, affinity=None) -> PoolReport:
+              warm_states=None, affinity=None, penalties=None) -> PoolReport:
         """Solve the batch across the pool; results in batch order.
 
         ``time_limit`` is a *per-scenario* budget: each dispatched chunk
@@ -483,6 +483,14 @@ class DevicePool:
         thief.  Because the states live with the parent, they also survive
         a worker death: a replayed chunk re-ships them, which is what makes
         a recovered solve bitwise identical to a failure-free one.
+
+        ``penalties`` optionally supplies one per-scenario
+        ``(rho_pq, rho_va)`` seed (or ``None``), in global batch order —
+        the tracking pipeline's ρ-cache values.  Like warm states they live
+        with the parent and ship inside every dispatched
+        :class:`~repro.admm.batch_solver.ShardTask` (surviving steals,
+        replays, and respawns), so a pooled adaptive-ρ solve runs the same
+        arithmetic as the single-device one.
 
         ``affinity`` switches the initial partition to **persistent
         placement**: a sequence (or ``{index: worker}`` mapping) of
@@ -509,6 +517,12 @@ class DevicePool:
                 raise ConfigurationError(
                     f"warm_states has {len(warm_states)} entries for "
                     f"{n_scenarios} scenarios")
+        if penalties is not None:
+            penalties = list(penalties)
+            if len(penalties) != n_scenarios:
+                raise ConfigurationError(
+                    f"penalties has {len(penalties)} entries for "
+                    f"{n_scenarios} scenarios")
         if affinity is not None:
             shards = self._affinity_partition(affinity, costs, workers)
             placement = "affinity"
@@ -525,10 +539,11 @@ class DevicePool:
         start = time.perf_counter()
         if self.executor == "sequential":
             result = self._run_sequential(scenario_set, params, time_limit,
-                                          scheduler, workers, warm_states)
+                                          scheduler, workers, warm_states,
+                                          penalties)
         else:
             run = _ProcessRun(self, scenario_set, params, time_limit,
-                              scheduler, workers, warm_states)
+                              scheduler, workers, warm_states, penalties)
             result = run.run()
         solutions, chunks, worker_devices, recovery = result
         wall = time.perf_counter() - start
@@ -618,7 +633,7 @@ class DevicePool:
 
     def _make_task(self, scenario_set: ScenarioSet, params,
                    time_limit: float | None, indices: tuple[int, ...],
-                   worker: int, warm_states=None):
+                   worker: int, warm_states=None, penalties=None):
         from repro.admm.batch_solver import ShardTask
         return ShardTask(
             indices=indices,
@@ -627,7 +642,9 @@ class DevicePool:
             time_limit=None if time_limit is None else time_limit * len(indices),
             warm_states=(None if warm_states is None
                          else tuple(warm_states[i] for i in indices)),
-            device_name=f"worker{worker}")
+            device_name=f"worker{worker}",
+            penalties=(None if penalties is None
+                       else tuple(penalties[i] for i in indices)))
 
     def _chunk_failure(self, scenario_set: ScenarioSet, worker: int,
                        indices: tuple[int, ...], kind: str, detail: str,
@@ -695,7 +712,7 @@ class DevicePool:
     # ------------------------------------------------------------------ #
     def _run_sequential(self, scenario_set: ScenarioSet, params,
                         time_limit: float | None, scheduler: _StealScheduler,
-                        workers: int, warm_states=None):
+                        workers: int, warm_states=None, penalties=None):
         """In-process executor: same scheduler, simulated worker clocks.
 
         Chunks run one at a time, so each chunk's measured seconds are
@@ -762,7 +779,7 @@ class DevicePool:
                         raise RuntimeError("injected fault: raise")
                     result = solve_fn(self._make_task(
                         scenario_set, params, time_limit, indices, worker,
-                        warm_states))
+                        warm_states, penalties))
                 except Exception as exc:
                     kind, detail = "error", repr(exc)
 
@@ -844,7 +861,7 @@ class _ProcessRun:
 
     def __init__(self, pool: DevicePool, scenario_set: ScenarioSet, params,
                  time_limit: float | None, scheduler: _StealScheduler,
-                 workers: int, warm_states) -> None:
+                 workers: int, warm_states, penalties=None) -> None:
         self.pool = pool
         self.scenario_set = scenario_set
         self.params = params
@@ -852,6 +869,7 @@ class _ProcessRun:
         self.scheduler = scheduler
         self.workers = workers
         self.warm_states = warm_states
+        self.penalties = penalties
         self.solve_fn = pool._resolve_solve_fn()
 
         self.solutions: list = [None] * len(scenario_set)
@@ -996,7 +1014,7 @@ class _ProcessRun:
             attempt=attempt, deadline=deadline)
         task = self.pool._make_task(self.scenario_set, self.params,
                                     self.time_limit, indices, worker,
-                                    self.warm_states)
+                                    self.warm_states, self.penalties)
         try:
             self.conns[worker].send((self.next_tag, task, command))
         except (BrokenPipeError, OSError):
@@ -1193,8 +1211,10 @@ def _pool_worker(worker_id: int, solve_fn: Callable, conn) -> None:
 
 def solve_acopf_admm_pool(scenarios, params=None, n_workers: int | None = None,
                           time_limit: float | None = None, warm_states=None,
-                          affinity=None, **pool_options) -> PoolReport:
+                          affinity=None, penalties=None,
+                          **pool_options) -> PoolReport:
     """One-shot pooled solve (module-level convenience wrapper)."""
     pool = DevicePool(n_workers=n_workers, **pool_options)
     return pool.solve(scenarios, params=params, time_limit=time_limit,
-                      warm_states=warm_states, affinity=affinity)
+                      warm_states=warm_states, affinity=affinity,
+                      penalties=penalties)

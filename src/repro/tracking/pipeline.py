@@ -63,6 +63,8 @@ class WarmRecord:
     pg: np.ndarray              # full-axis per-unit dispatch (the ramp anchor)
     worker: int | None = None   # pool worker that held the state (affinity)
     period: int = -1            # period the record was written after
+    rho_pq: float | None = None  # converged penalties (the adaptive-ρ seed)
+    rho_va: float | None = None
 
 
 class WarmStartCache:
@@ -95,9 +97,12 @@ class WarmStartCache:
         return self._records.get(key)
 
     def store(self, key, state: AdmmState, pg: np.ndarray,
-              worker: int | None = None, period: int = -1) -> None:
+              worker: int | None = None, period: int = -1,
+              rho_pq: float | None = None,
+              rho_va: float | None = None) -> None:
         self._records[key] = WarmRecord(state=state, pg=np.asarray(pg, dtype=float),
-                                        worker=worker, period=period)
+                                        worker=worker, period=period,
+                                        rho_pq=rho_pq, rho_va=rho_va)
 
     def states(self, keys: Sequence) -> list[AdmmState | None]:
         """Per-key warm-start states (``None`` where the key is unknown)."""
@@ -112,6 +117,17 @@ class WarmStartCache:
     def affinity(self, keys: Sequence) -> list[int | None]:
         """Per-key preferred workers (``None`` where unknown / single-device)."""
         return [record.worker if record is not None else None
+                for record in map(self.get, keys)]
+
+    def penalties(self, keys: Sequence) -> list[tuple[float, float] | None]:
+        """Per-key cached converged ``(rho_pq, rho_va)`` (``None`` if unknown).
+
+        This is the **ρ-cache**: under adaptive ρ, the penalties a scenario
+        converged with in period ``t`` seed its period ``t+1`` solve the way
+        its state already does.
+        """
+        return [(record.rho_pq, record.rho_va)
+                if record is not None and record.rho_pq is not None else None
                 for record in map(self.get, keys)]
 
     def clear(self) -> None:
@@ -393,6 +409,11 @@ def track_horizon_batch(scenarios, profile,
             per_scenario.append((bus_pd, bus_qd, lo, hi))
 
         warm_states = cache.states(keys) if warm_start else None
+        # The ρ-cache rides with the warm start: a scenario's converged
+        # penalties seed the next period only when its state does too (a
+        # cold period re-derives both from the configured starting point).
+        adaptive = params is not None and params.adaptive_rho
+        penalties = cache.penalties(keys) if (warm_start and adaptive) else None
         start = time.perf_counter()
         if pool is None:
             solver = _solve_single_device(solver, base, bases, views,
@@ -400,7 +421,7 @@ def track_horizon_batch(scenarios, profile,
             solutions = solver.solve(
                 time_limit=(None if time_limit_per_period is None
                             else time_limit_per_period * n_scenarios),
-                warm_start=warm_states)
+                warm_start=warm_states, penalties=penalties)
             wall = time.perf_counter() - start
             seconds = wall
             workers: list[int | None] = [None] * n_scenarios
@@ -413,7 +434,8 @@ def track_horizon_batch(scenarios, profile,
                                 time_limit=time_limit_per_period,
                                 warm_states=warm_states,
                                 affinity=(cache.affinity(keys)
-                                          if warm_start else None))
+                                          if warm_start else None),
+                                penalties=penalties)
             if report.failed_scenarios:
                 # a partial-mode pool can hand back None solutions; a
                 # tracking horizon cannot continue past a hole in the fleet
@@ -442,7 +464,8 @@ def track_horizon_batch(scenarios, profile,
 
         for s, solution in enumerate(solutions):
             cache.store(keys[s], state=solution.state, pg=solution.pg,
-                        worker=workers[s], period=period)
+                        worker=workers[s], period=period,
+                        rho_pq=solution.rho_pq, rho_va=solution.rho_va)
         # The cache owns the live AdmmStates; the retained per-period
         # solutions are detached from theirs so a long horizon accumulates
         # O(reported arrays), not O(full solver state), per scenario-period.

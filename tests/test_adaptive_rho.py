@@ -1,0 +1,323 @@
+"""Adaptive per-scenario penalty (ρ) tuning and the penalty plumbing.
+
+Covers the residual-balancing policy (``repro.admm.penalty``), the knob
+validation added alongside it, the ``parameters_for_case`` override fix,
+the within-scenario-constancy guard of ``_scenario_rho``, and the
+differential guarantees the feature ships with: the fixed-ρ path is
+untouched, an S=1 batched adaptive solve is bitwise the sequential one,
+compaction and pooling do not perturb adaptive trajectories, and the
+tracking pipeline's ρ-cache makes a resumed horizon bitwise identical to a
+continuous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.admm import (
+    AdmmParameters,
+    AdmmSolver,
+    BatchAdmmSolver,
+    balanced_penalties,
+    parameters_for_case,
+    scenario_penalties,
+    solve_acopf_admm,
+    solve_acopf_admm_batch,
+)
+from repro.admm.residuals import _scenario_rho
+from repro.exceptions import ConfigurationError
+from repro.grid.synthetic import make_synthetic_grid
+from repro.parallel import DevicePool
+from repro.scenarios import load_scaling_scenarios, tracking_fleet
+from repro.tracking import make_load_profile, track_horizon_batch
+from repro.tracking.horizon import relative_gap_series
+from repro.tracking.load_profile import LoadProfile
+from repro.tracking.pipeline import WarmStartCache
+
+#: Capped budgets for the bitwise differential tests (convergence is
+#: irrelevant when trajectories are compared bit for bit).
+QUICK = dict(max_outer=2, max_inner=25)
+#: Loose-but-converging budgets for the objective-agreement tests.
+LOOSE = dict(outer_tol=1e-2, inner_tol_primal=1e-3, inner_tol_dual=1e-2)
+
+
+def quick_params(network, **overrides):
+    return parameters_for_case(network, **{**QUICK, **overrides})
+
+
+def assert_bitwise_equal(a, b) -> None:
+    assert a.inner_iterations == b.inner_iterations
+    assert a.outer_iterations == b.outer_iterations
+    assert a.converged == b.converged
+    assert a.rho_pq == b.rho_pq and a.rho_va == b.rho_va
+    assert np.array_equal(a.pg, b.pg)
+    assert np.array_equal(a.vm, b.vm)
+    assert np.array_equal(a.va, b.va)
+    assert a.objective == b.objective
+
+
+# --------------------------------------------------------------------- #
+# parameters_for_case override regression                                 #
+# --------------------------------------------------------------------- #
+class TestParametersForCase:
+    def test_explicit_penalty_overrides_win(self, case9):
+        """Regression: ``rho_pq=``/``rho_va=`` used to raise TypeError."""
+        params = parameters_for_case(case9, rho_pq=7.0, rho_va=9.0)
+        assert params.rho_pq == 7.0
+        assert params.rho_va == 9.0
+
+    def test_single_override_keeps_other_suggestion(self, case9):
+        suggested = parameters_for_case(case9)
+        params = parameters_for_case(case9, rho_va=9.0)
+        assert params.rho_pq == suggested.rho_pq
+        assert params.rho_va == 9.0
+
+    def test_defaults_still_suggested(self, case9):
+        params = parameters_for_case(case9)
+        assert (params.rho_pq, params.rho_va) == (4e2, 4e4)
+
+
+# --------------------------------------------------------------------- #
+# Parameter validation sweep                                              #
+# --------------------------------------------------------------------- #
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(inner_tol_primal=0.0),
+        dict(inner_tol_dual=-1.0),
+        dict(inner_tol_initial=0.0),
+        dict(inner_tol_decay=0.0),
+        dict(inner_tol_decay=1.5),
+        dict(min_inner_iterations=-1),
+        dict(auglag_penalty_init=0.0),
+        dict(auglag_penalty_factor=0.0),
+        dict(auglag_penalty_max=0.0),
+        dict(objective_scale=0.0),
+        dict(adaptive_rho_ratio=0.5),
+        dict(adaptive_rho_factor=1.0),
+        dict(adaptive_rho_interval=0),
+        dict(adaptive_rho_min=0.0),
+        dict(adaptive_rho_min=2.0, adaptive_rho_max=1.0),
+    ])
+    def test_bad_knobs_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            AdmmParameters(**bad).validate()
+
+    def test_boundary_values_pass(self):
+        AdmmParameters(inner_tol_decay=1.0, min_inner_iterations=0,
+                       adaptive_rho_ratio=1.0, adaptive_rho_interval=1,
+                       adaptive_rho_min=1.0, adaptive_rho_max=1.0).validate()
+
+
+# --------------------------------------------------------------------- #
+# Within-scenario penalty constancy                                       #
+# --------------------------------------------------------------------- #
+class TestScenarioRho:
+    def test_constant_block_and_scalar_pass(self, case9):
+        batch = BatchAdmmSolver(load_scaling_scenarios(case9, [0.98, 1.02]),
+                                params=quick_params(case9))
+        for scenario in range(2):
+            rho_pq, rho_va = scenario_penalties(batch.data, scenario)
+            assert rho_pq > 0 and rho_va > 0
+        single = AdmmSolver(case9, params=quick_params(case9))
+        assert _scenario_rho(single.data, "gp", 0) == single.params.rho_pq
+
+    def test_non_constant_block_raises(self, case9):
+        batch = BatchAdmmSolver(load_scaling_scenarios(case9, [0.98, 1.02]),
+                                params=quick_params(case9))
+        block = batch.data.group_block("gp", 1)
+        batch.data.rho["gp"][block.stop - 1] *= 2  # tamper one element
+        with pytest.raises(ConfigurationError, match="not constant"):
+            scenario_penalties(batch.data, 1)
+        # the untampered scenario still reads fine
+        scenario_penalties(batch.data, 0)
+
+
+# --------------------------------------------------------------------- #
+# The balancing policy itself                                             #
+# --------------------------------------------------------------------- #
+class TestBalancedPenalties:
+    PARAMS = AdmmParameters(adaptive_rho_ratio=5.0, adaptive_rho_factor=2.0,
+                            adaptive_rho_min=1e-2, adaptive_rho_max=1e3)
+
+    def test_primal_dominant_grows(self):
+        assert balanced_penalties(10.0, 1.0, 4.0, 40.0, self.PARAMS) == (8.0, 80.0)
+
+    def test_dual_dominant_shrinks(self):
+        assert balanced_penalties(1.0, 10.0, 4.0, 40.0, self.PARAMS) == (2.0, 20.0)
+
+    def test_balanced_is_a_noop(self):
+        assert balanced_penalties(2.0, 1.0, 4.0, 40.0, self.PARAMS) == (4.0, 40.0)
+
+    def test_clamped_to_bounds(self):
+        grown = balanced_penalties(10.0, 1.0, 900.0, 900.0, self.PARAMS)
+        assert grown == (1e3, 1e3)
+        shrunk = balanced_penalties(1.0, 10.0, 0.015, 0.015, self.PARAMS)
+        assert shrunk == (1e-2, 1e-2)
+
+
+# --------------------------------------------------------------------- #
+# Differential guarantees                                                 #
+# --------------------------------------------------------------------- #
+class TestAdaptiveDifferential:
+    def test_fixed_path_never_touches_rho(self, case9):
+        solver = AdmmSolver(case9, params=quick_params(case9))
+        before = dict(solver.data.rho)
+        solution = solver.solve()
+        assert dict(solver.data.rho) == before
+        assert (solution.rho_pq, solution.rho_va) == \
+            (solver.params.rho_pq, solver.params.rho_va)
+
+    def test_s1_batched_matches_sequential(self, case9):
+        params = quick_params(case9, adaptive_rho=True, adaptive_rho_interval=4)
+        sequential = solve_acopf_admm(case9, params=params)
+        batched = solve_acopf_admm_batch([case9], params=params)
+        assert len(batched) == 1
+        assert_bitwise_equal(batched[0], sequential)
+        # the short capped run really adapted (the differential is not vacuous)
+        assert (sequential.rho_pq, sequential.rho_va) != \
+            (params.rho_pq, params.rho_va)
+
+    def test_reused_solver_restarts_from_initial_penalties(self, case9):
+        params = quick_params(case9, adaptive_rho=True, adaptive_rho_interval=4)
+        solver = AdmmSolver(case9, params=params)
+        first = solver.solve()
+        second = solver.solve()
+        assert_bitwise_equal(first, second)
+
+    def test_compaction_does_not_perturb_adaptive(self, case9):
+        params = quick_params(case9, adaptive_rho=True, adaptive_rho_interval=4,
+                              max_inner=40)
+        scenarios = load_scaling_scenarios(case9, [0.96, 1.0, 1.04])
+        compacting = BatchAdmmSolver(scenarios, params=params).solve()
+        never = BatchAdmmSolver(
+            scenarios, params=replace(params, compaction_threshold=0.0)).solve()
+        for a, b in zip(compacting, never):
+            assert_bitwise_equal(a, b)
+
+    def test_staggered_freezes_keep_adaptations_across_compactions(self, case9):
+        """Regression: ρ steps taken after a second compaction were lost.
+
+        Warm-started periods freeze scenarios at staggered iterations, so
+        the stream compacts more than once per solve; the packed data's
+        adapted rho blocks must flush back before each re-selection, or the
+        compacting run silently reverts to the penalties of the previous
+        compaction point and diverges from the uncompacted ground truth.
+        """
+        fleet = tracking_fleet(case9, kind="load", n_scenarios=3, spread=0.05)
+        profile = make_load_profile(n_periods=2, seed=7)
+        params = quick_params(case9, adaptive_rho=True, adaptive_rho_interval=4,
+                              max_inner=40)
+        compacting = track_horizon_batch(fleet, profile, params=params,
+                                         warm_start=True)
+        never = track_horizon_batch(
+            fleet, profile,
+            params=replace(params, compaction_threshold=0.0), warm_start=True)
+        for period_a, period_b in zip(compacting.periods, never.periods):
+            for a, b in zip(period_a.solutions, period_b.solutions):
+                assert_bitwise_equal(a, b)
+
+    def test_penalty_seeds_pin_a_fixed_solve(self, case9):
+        seeded = BatchAdmmSolver([case9], params=quick_params(case9))
+        [seeded_solution] = seeded.solve(penalties=[(50.0, 5000.0)])
+        fresh = solve_acopf_admm(
+            case9, params=quick_params(case9, rho_pq=50.0, rho_va=5000.0))
+        assert_bitwise_equal(seeded_solution, fresh)
+        assert (seeded_solution.rho_pq, seeded_solution.rho_va) == (50.0, 5000.0)
+
+    def test_penalty_seed_length_and_sign_checked(self, case9):
+        solver = BatchAdmmSolver([case9], params=quick_params(case9))
+        with pytest.raises(ConfigurationError):
+            solver.solve(penalties=[(50.0, 5000.0), (1.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            solver.solve(penalties=[(-1.0, 5000.0)])
+
+    def test_adaptive_objective_agrees_with_fixed(self, case9):
+        """Adaptation buys iterations, not a different answer."""
+        fixed = solve_acopf_admm(case9, params=parameters_for_case(case9, **LOOSE))
+        adaptive = solve_acopf_admm(
+            case9, params=parameters_for_case(case9, **LOOSE, adaptive_rho=True))
+        assert fixed.converged and adaptive.converged
+        gap = abs(adaptive.objective - fixed.objective) / max(abs(fixed.objective), 1.0)
+        assert gap <= 10 * 1e-2
+        assert adaptive.inner_iterations <= fixed.inner_iterations
+
+    def test_adaptive_objective_agrees_on_synthetic_grid(self):
+        network = make_synthetic_grid(n_bus=10, n_gen=3, n_branch=13, seed=3)
+        fixed = solve_acopf_admm(network,
+                                 params=parameters_for_case(network, **LOOSE))
+        adaptive = solve_acopf_admm(
+            network,
+            params=parameters_for_case(network, **LOOSE, adaptive_rho=True))
+        assert fixed.converged and adaptive.converged
+        gap = abs(adaptive.objective - fixed.objective) / max(abs(fixed.objective), 1.0)
+        assert gap <= 10 * 1e-2
+
+
+# --------------------------------------------------------------------- #
+# Tracking pipeline: the ρ-cache                                          #
+# --------------------------------------------------------------------- #
+class TestWarmCachePenalties:
+    def test_round_trip_and_unknown_keys(self, case9):
+        cache = WarmStartCache()
+        solver = AdmmSolver(case9, params=quick_params(case9))
+        solution = solver.solve()
+        cache.store("a", solution.state, solution.pg,
+                    rho_pq=12.0, rho_va=34.0)
+        cache.store("b", solution.state, solution.pg)  # no penalties recorded
+        assert cache.penalties(["a", "b", "missing"]) == \
+            [(12.0, 34.0), None, None]
+
+
+class TestTrackingAdaptive:
+    def _fleet_profile(self, case9, n_periods=4):
+        fleet = tracking_fleet(case9, kind="load", n_scenarios=2, spread=0.05)
+        profile = make_load_profile(n_periods=n_periods, seed=0)
+        return fleet, profile
+
+    def _assert_horizons_equal(self, periods_a, periods_b):
+        assert len(periods_a) == len(periods_b)
+        for period_a, period_b in zip(periods_a, periods_b):
+            for a, b in zip(period_a.solutions, period_b.solutions):
+                assert_bitwise_equal(a, b)
+
+    def test_rho_cache_resume_matches_continuous(self, case9):
+        fleet, profile = self._fleet_profile(case9)
+        params = quick_params(case9, adaptive_rho=True, adaptive_rho_interval=4)
+        continuous = track_horizon_batch(fleet, profile, params=params,
+                                         warm_start=True)
+        cache = WarmStartCache()
+        first = track_horizon_batch(fleet, LoadProfile(profile.multipliers[:2]),
+                                    params=params, warm_start=True, cache=cache)
+        second = track_horizon_batch(fleet, LoadProfile(profile.multipliers[2:]),
+                                     params=params, warm_start=True, cache=cache)
+        self._assert_horizons_equal(first.periods + second.periods,
+                                    continuous.periods)
+        # the cache really carried adapted penalties across the seam
+        assert any(pair is not None for pair in cache.penalties(fleet.names))
+
+    def test_pooled_adaptive_matches_single_device(self, case9):
+        fleet, profile = self._fleet_profile(case9, n_periods=3)
+        params = quick_params(case9, adaptive_rho=True, adaptive_rho_interval=4)
+        reference = track_horizon_batch(fleet, profile, params=params,
+                                        warm_start=True)
+        pool = DevicePool(n_workers=2, executor="sequential", chunk_scenarios=1)
+        pooled = track_horizon_batch(fleet, profile, params=params,
+                                     warm_start=True, pool=pool)
+        self._assert_horizons_equal(pooled.periods, reference.periods)
+
+    def test_adaptive_tracking_gap_and_iterations(self, case9):
+        fleet, profile = self._fleet_profile(case9, n_periods=3)
+        fixed_params = parameters_for_case(case9, **LOOSE)
+        adaptive_params = replace(fixed_params, adaptive_rho=True)
+        fixed = track_horizon_batch(fleet, profile, params=fixed_params,
+                                    warm_start=True)
+        adaptive = track_horizon_batch(fleet, profile, params=adaptive_params,
+                                       warm_start=True)
+        assert all(p.converged.all() for p in fixed.periods)
+        assert all(p.converged.all() for p in adaptive.periods)
+        gaps = relative_gap_series(adaptive.objectives, fixed.objectives)
+        assert gaps.max() <= 10 * fixed_params.outer_tol
+        assert adaptive.total_inner_iterations <= fixed.total_inner_iterations

@@ -38,6 +38,15 @@ def artifact(speedup, metric="speedup", **extra) -> dict:
     return payload
 
 
+def gated_artifact(name: str, value, **extra) -> dict:
+    """An artifact carrying *every* metric the gate checks for ``name``."""
+    payload = {metric: value for metric, _ in check_regression.GATED_METRICS[name]}
+    payload.update({"smoke_mode": True, "worker_count": 2,
+                    "git_sha": "deadbeef"})
+    payload.update(extra)
+    return payload
+
+
 @pytest.fixture()
 def dirs(tmp_path):
     results = tmp_path / "results"
@@ -159,24 +168,73 @@ class TestCheckFile:
         ok, message = check(results, baselines)
         assert ok and message.startswith("OK")
 
-    def test_tracking_artifact_is_gated_on_iteration_speedup(self, dirs):
+    def test_tracking_artifact_is_gated_on_iteration_speedups(self, dirs):
         results, baselines = dirs
         name = "BENCH_tracking.json"
         assert name in check_regression.GATED_METRICS
-        metric, _ = check_regression.GATED_METRICS[name]
-        assert metric == "iteration_speedup"
-        write(baselines, name, artifact(9.0, metric=metric))
-        write(results, name, artifact(2.0, metric=metric))
+        metrics = [metric for metric, _ in check_regression.GATED_METRICS[name]]
+        assert metrics == ["iteration_speedup", "adaptive_iteration_speedup"]
+        for metric in metrics:
+            baseline = gated_artifact(name, 9.0)
+            fresh = gated_artifact(name, 9.0)
+            fresh[metric] = 2.0  # only this metric regresses
+            write(baselines, name, baseline)
+            write(results, name, fresh)
+            ok, message = check(results, baselines, name=name)
+            assert not ok and message.startswith("FAIL"), metric
+
+    def test_metric_absent_from_baseline_skips_that_metric(self, dirs):
+        # staged rollout: a brand-new gated metric has no blessed baseline
+        # value yet — it must be noted and skipped while the established
+        # metric keeps gating
+        results, baselines = dirs
+        name = "BENCH_tracking.json"
+        baseline = gated_artifact(name, 9.0)
+        del baseline["adaptive_iteration_speedup"]
+        write(baselines, name, baseline)
+        write(results, name, gated_artifact(name, 9.0))
+        ok, message = check(results, baselines, name=name)
+        assert ok and message.startswith("OK")
+        assert "not in baseline" in message
+        # ... and the established metric still fails on a regression
+        fresh = gated_artifact(name, 9.0)
+        fresh["iteration_speedup"] = 2.0
+        write(results, name, fresh)
         ok, message = check(results, baselines, name=name)
         assert not ok and message.startswith("FAIL")
+
+    def test_no_comparable_metric_skips_file(self, dirs):
+        # a baseline blessed before any of the file's gated metrics existed
+        # compares nothing — the file is a SKIP, not a silent OK
+        results, baselines = dirs
+        name = "BENCH_tracking.json"
+        baseline = gated_artifact(name, 9.0)
+        for metric, _ in check_regression.GATED_METRICS[name]:
+            del baseline[metric]
+        write(baselines, name, baseline)
+        write(results, name, gated_artifact(name, 9.0))
+        ok, message = check(results, baselines, name=name)
+        assert ok and message.startswith("SKIP")
+
+    def test_metric_in_baseline_missing_from_fresh_fails(self, dirs):
+        # the CI job runs both tracking legs; losing one must not disarm
+        # its gate
+        results, baselines = dirs
+        name = "BENCH_tracking.json"
+        write(baselines, name, gated_artifact(name, 9.0))
+        fresh = gated_artifact(name, 9.0)
+        del fresh["adaptive_iteration_speedup"]
+        write(results, name, fresh)
+        ok, message = check(results, baselines, name=name)
+        assert not ok and "missing" in message
 
 
 class TestMain:
     def test_all_ok_returns_zero(self, dirs, capsys):
         results, baselines = dirs
-        for name, (metric, _) in check_regression.GATED_METRICS.items():
-            write(baselines, name, artifact(2.0, metric=metric))
-            write(results, name, artifact(2.1, metric=metric))
+        for name in check_regression.GATED_METRICS:
+            write(baselines, name, gated_artifact(name, 2.0))
+            write(results, name, gated_artifact(name, 2.1))
         code = check_regression.main(["--results-dir", str(results),
                                       "--baseline-dir", str(baselines)])
         assert code == 0
@@ -184,11 +242,10 @@ class TestMain:
 
     def test_one_regression_returns_one(self, dirs, capsys):
         results, baselines = dirs
-        for name, (metric, _) in check_regression.GATED_METRICS.items():
-            write(baselines, name, artifact(2.0, metric=metric))
-            write(results, name, artifact(2.1, metric=metric))
-        metric, _ = check_regression.GATED_METRICS[NAME]
-        write(results, NAME, artifact(0.5, metric=metric))
+        for name in check_regression.GATED_METRICS:
+            write(baselines, name, gated_artifact(name, 2.0))
+            write(results, name, gated_artifact(name, 2.1))
+        write(results, NAME, gated_artifact(NAME, 0.5))
         code = check_regression.main(["--results-dir", str(results),
                                       "--baseline-dir", str(baselines)])
         assert code == 1
@@ -204,8 +261,7 @@ class TestMain:
 
     def test_require_all_fails_on_missing_fresh(self, dirs):
         results, baselines = dirs
-        metric, _ = check_regression.GATED_METRICS[NAME]
-        write(baselines, NAME, artifact(2.0, metric=metric))
+        write(baselines, NAME, gated_artifact(NAME, 2.0))
         code = check_regression.main(["--results-dir", str(results),
                                       "--baseline-dir", str(baselines),
                                       "--require-all"])
